@@ -1,0 +1,149 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  The expensive comparison
+sweep (ARCS vs C4.5 over a tuple-count range, with and without outliers)
+is computed once per session and shared by the Figure 11–14 and Table 2
+modules; each module then times one representative kernel with
+pytest-benchmark and writes its paper-style table to
+``benchmarks/results/`` as well as stdout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import C45Rules, C45Tree, classification_error
+from repro.core.arcs import ARCS, ARCSConfig
+from repro.core.optimizer import OptimizerConfig
+from repro.viz.report import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Tuple counts for the ARCS-vs-C4.5 sweep.  The paper sweeps 20k–1M on a
+#: 120 MHz Pentium running C; pure-Python C4.5RULES is the bottleneck, so
+#: the comparison sweep is scaled down (the ARCS-only scale-up below goes
+#: to 500k).  Sizes stay at 10k and above: the paper's own sweep starts
+#: at 20k because a 50x50 BinArray needs several tuples per cell for
+#: stable support/confidence estimates (at 5k a lone outlier already
+#: gives its cell confidence 1.0).
+COMPARISON_SIZES = (10_000, 20_000, 40_000)
+
+#: Larger ARCS-only sizes for the Figure 15 scale-up.
+SCALEUP_SIZES = (20_000, 50_000, 100_000, 200_000, 500_000)
+
+#: A finer confidence axis than support axis: under outliers the usable
+#: confidence band is narrow and a coarse axis can miss it entirely.
+ARCS_SWEEP_CONFIG = ARCSConfig(
+    optimizer=OptimizerConfig(max_support_levels=6,
+                              max_confidence_levels=10),
+)
+
+
+def emit(name: str, title: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"\n=== {title} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(banner.lstrip("\n"))
+
+
+def generate(n_tuples: int, outlier_fraction: float = 0.0,
+             seed: int = 1000) -> repro.Table:
+    return repro.generate_synthetic(
+        repro.SyntheticConfig(
+            n_tuples=n_tuples, function_id=2, perturbation=0.05,
+            outlier_fraction=outlier_fraction, seed=seed,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonPoint:
+    """One (size, outlier level) cell of the ARCS-vs-C4.5 sweep."""
+
+    n_tuples: int
+    outlier_fraction: float
+    arcs_error: float
+    c45_error: float
+    arcs_rules: int
+    c45_rules_total: int
+    c45_rules_for_a: int
+    arcs_seconds: float
+    c45_tree_seconds: float
+    c45_rules_seconds: float
+
+
+def _run_point(n_tuples: int, outlier_fraction: float,
+               seed: int) -> ComparisonPoint:
+    train = generate(n_tuples, outlier_fraction, seed=seed)
+    test = generate(max(2_000, n_tuples // 2), outlier_fraction,
+                    seed=seed + 7)
+
+    start = time.perf_counter()
+    arcs_result = ARCS(ARCS_SWEEP_CONFIG).fit(
+        train, "age", "salary", "group", "A"
+    )
+    arcs_seconds = time.perf_counter() - start
+    covered = arcs_result.segmentation.covers_table(test)
+    actual = np.asarray(
+        [label == "A" for label in test.column("group")]
+    )
+    arcs_error = float(np.mean(covered != actual))
+
+    start = time.perf_counter()
+    tree = C45Tree().fit(train, ["age", "salary"], "group")
+    c45_tree_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    rules = C45Rules.from_tree(tree, train)
+    c45_rules_seconds = time.perf_counter() - start
+    c45_error = classification_error(
+        rules.predict(test), test, "group", "A"
+    )
+
+    return ComparisonPoint(
+        n_tuples=n_tuples,
+        outlier_fraction=outlier_fraction,
+        arcs_error=arcs_error,
+        c45_error=c45_error,
+        arcs_rules=len(arcs_result.segmentation),
+        c45_rules_total=len(rules),
+        c45_rules_for_a=len(rules.rules_for("A")),
+        arcs_seconds=arcs_seconds,
+        c45_tree_seconds=c45_tree_seconds,
+        c45_rules_seconds=c45_rules_seconds,
+    )
+
+
+@pytest.fixture(scope="session")
+def comparison_sweep() -> dict[float, list[ComparisonPoint]]:
+    """The full ARCS-vs-C4.5 sweep at U = 0% and U = 10%."""
+    sweep: dict[float, list[ComparisonPoint]] = {}
+    for outlier_fraction in (0.0, 0.10):
+        points = []
+        for index, n_tuples in enumerate(COMPARISON_SIZES):
+            points.append(
+                _run_point(n_tuples, outlier_fraction,
+                           seed=2000 + index)
+            )
+        sweep[outlier_fraction] = points
+    return sweep
+
+
+def comparison_table(points: list[ComparisonPoint],
+                     columns: list[str]) -> str:
+    """Render selected columns of the sweep as a paper-style table."""
+    headers = ["tuples"] + columns
+    rows = []
+    for point in points:
+        row = [point.n_tuples]
+        for column in columns:
+            row.append(getattr(point, column))
+        rows.append(row)
+    return format_table(headers, rows)

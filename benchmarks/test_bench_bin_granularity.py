@@ -1,0 +1,49 @@
+"""E10 — the binning-granularity study (paper Section 4.2).
+
+"The primary cause of error in the ARCS rules is due to the granularity
+of binning. ... We performed a separate set of identical experiments
+using between 10 to 50 bins for each attribute.  We found a general
+trend towards more 'optimal' clusters as the number of bins increases."
+
+The bench sweeps 10..50 bins and reports the exact region error of the
+fitted segmentation; the trend must be downward.
+"""
+
+from conftest import ARCS_SWEEP_CONFIG, emit, generate
+from repro.analysis.accuracy import exact_region_error
+from repro.core.arcs import ARCS, ARCSConfig
+from repro.data.functions import true_regions
+from repro.viz.report import format_table
+
+BIN_COUNTS = (10, 20, 30, 40, 50)
+
+
+def _error_at(table, n_bins: int) -> float:
+    config = ARCSConfig(
+        n_bins_x=n_bins, n_bins_y=n_bins,
+        optimizer=ARCS_SWEEP_CONFIG.optimizer,
+    )
+    result = ARCS(config).fit(table, "age", "salary", "group", "A")
+    report = exact_region_error(
+        result.segmentation, true_regions(2),
+        x_range=(20, 80), y_range=(20_000, 150_000),
+    )
+    return report.total_error_area
+
+
+def test_bin_granularity(benchmark):
+    table = generate(20_000, 0.0, seed=55)
+    errors = [(n, _error_at(table, n)) for n in BIN_COUNTS]
+
+    emit("e10_bin_granularity",
+         "E10: exact region error vs bins per attribute",
+         format_table(["bins", "region error"], errors))
+
+    benchmark.pedantic(
+        _error_at, args=(table, 30), rounds=1, iterations=1
+    )
+
+    # Trend: the finest grid beats the coarsest.
+    assert errors[-1][1] < errors[0][1]
+    # And substantially so (the paper's 'general trend').
+    assert errors[-1][1] < 0.75 * errors[0][1]

@@ -1,0 +1,31 @@
+"""E2 — Figure 11: error rate vs database size, no outliers.
+
+Paper shape: both systems sit in a low error band across sizes, with
+C4.5 at or slightly below ARCS (ARCS's floor is bin granularity plus the
+5% perturbation's irreducible boundary noise).
+"""
+
+from conftest import comparison_table, emit, generate
+from repro.core.arcs import ARCS
+from conftest import ARCS_SWEEP_CONFIG
+
+
+def test_fig11_error_rates(benchmark, comparison_sweep):
+    points = comparison_sweep[0.0]
+    table = comparison_table(points, ["arcs_error", "c45_error"])
+    emit("e2_fig11_error_no_outliers",
+         "E2 / Figure 11: error rate vs tuples (U=0%)", table)
+
+    # Representative kernel: one ARCS fit at the middle size.
+    data = generate(5_000, 0.0, seed=77)
+    benchmark.pedantic(
+        lambda: ARCS(ARCS_SWEEP_CONFIG).fit(
+            data, "age", "salary", "group", "A"
+        ),
+        rounds=1, iterations=1,
+    )
+
+    # Shape assertions: low error for both systems at every size.
+    for point in points:
+        assert point.arcs_error < 0.15
+        assert point.c45_error < 0.15

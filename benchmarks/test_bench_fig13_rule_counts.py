@@ -1,0 +1,29 @@
+"""E4 — Figure 13: number of rules produced vs database size, U=0%.
+
+Paper shape: ARCS emits a handful of clustered rules (3 in the paper's
+runs) while C4.5 emits several times more (~12–35), and "keeping the
+number of rules small is very important" for end users.
+"""
+
+from conftest import comparison_table, emit
+
+
+def test_fig13_rule_counts(benchmark, comparison_sweep):
+    points = comparison_sweep[0.0]
+    table = comparison_table(
+        points, ["arcs_rules", "c45_rules_total", "c45_rules_for_a"]
+    )
+    emit("e4_fig13_rule_counts",
+         "E4 / Figure 13: rules produced vs tuples (U=0%)", table)
+
+    def rule_ratio():
+        return sum(
+            point.c45_rules_total / point.arcs_rules for point in points
+        ) / len(points)
+
+    ratio = benchmark(rule_ratio)
+
+    for point in points:
+        assert point.arcs_rules <= 6
+        assert point.c45_rules_total > point.arcs_rules
+    assert ratio > 2.0  # C4.5 several times more rules than ARCS

@@ -1,0 +1,28 @@
+"""E5 — Figure 14: number of rules produced vs database size, U=10%.
+
+Same shape as Figure 13 under outliers: ARCS keeps its handful of
+clusters (dynamic pruning absorbs the outlier background) while C4.5
+still produces several times more rules.
+"""
+
+from conftest import comparison_table, emit
+
+
+def test_fig14_rule_counts_with_outliers(benchmark, comparison_sweep):
+    points = comparison_sweep[0.10]
+    table = comparison_table(
+        points, ["arcs_rules", "c45_rules_total", "c45_rules_for_a"]
+    )
+    emit("e5_fig14_rule_counts_outliers",
+         "E5 / Figure 14: rules produced vs tuples (U=10%)", table)
+
+    def rule_ratio():
+        return sum(
+            point.c45_rules_total / point.arcs_rules for point in points
+        ) / len(points)
+
+    ratio = benchmark(rule_ratio)
+
+    for point in points:
+        assert point.arcs_rules <= 6
+    assert ratio > 2.0

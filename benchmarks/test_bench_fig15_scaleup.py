@@ -1,0 +1,72 @@
+"""E6 — Figure 15: ARCS execution time scales linearly with |D|.
+
+The paper scales 100k to 10M tuples (a factor of 100) and sees execution
+time grow by only ~10x, because ARCS streams the data once into the
+fixed-size BinArray and everything downstream is data-size independent.
+
+This bench sweeps 20k–500k tuples and reports two timings per size:
+
+* the **binning pass** — the only data-proportional stage; it must grow
+  ~linearly with |D|;
+* the **full fit** — binning plus the optimizer loop; its growth must
+  stay below linear, because the loop's cost depends on the grid, not
+  the data (the paper's "better than linear" observation).
+"""
+
+import time
+
+from conftest import ARCS_SWEEP_CONFIG, SCALEUP_SIZES, emit, generate
+from repro.binning import bin_table
+from repro.core.arcs import ARCS
+from repro.viz.report import format_table
+
+
+def _measure(n_tuples: int, seed: int) -> tuple[float, float]:
+    table = generate(n_tuples, 0.0, seed=seed)
+    start = time.perf_counter()
+    bin_table(table, "age", "salary", "group", 50, 50)
+    bin_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    ARCS(ARCS_SWEEP_CONFIG).fit(table, "age", "salary", "group", "A")
+    fit_seconds = time.perf_counter() - start
+    return bin_seconds, fit_seconds
+
+
+def test_fig15_scaleup(benchmark):
+    timings = []
+    for index, n_tuples in enumerate(SCALEUP_SIZES):
+        bin_seconds, fit_seconds = _measure(n_tuples, seed=3000 + index)
+        timings.append((n_tuples, bin_seconds, fit_seconds))
+
+    base_n, base_bin, base_fit = timings[0]
+    rows = [
+        [n, round(bin_s, 4), round(fit_s, 3), n / base_n,
+         round(bin_s / base_bin, 2), round(fit_s / base_fit, 2)]
+        for n, bin_s, fit_s in timings
+    ]
+    table = format_table(
+        ["tuples", "bin (s)", "full fit (s)", "size ratio",
+         "bin ratio", "fit ratio"],
+        rows,
+    )
+    emit("e6_fig15_scaleup",
+         "E6 / Figure 15: ARCS execution time vs tuples", table)
+
+    # Representative kernel for pytest-benchmark: the 100k binning pass.
+    data = generate(100_000, 0.0, seed=999)
+    benchmark.pedantic(
+        lambda: bin_table(data, "age", "salary", "group", 50, 50),
+        rounds=1, iterations=1,
+    )
+
+    last_n, last_bin, last_fit = timings[-1]
+    size_ratio = last_n / base_n
+    # The streaming pass is the data-proportional part: linear within
+    # generous constant-factor slack.
+    bin_ratio = last_bin / base_bin
+    assert bin_ratio < size_ratio * 2.0
+    assert bin_ratio > size_ratio / 10.0
+    # The full fit must not grow super-linearly (the paper observes
+    # better-than-linear: fixed grid work amortises).
+    fit_ratio = last_fit / base_fit
+    assert fit_ratio < size_ratio * 1.25

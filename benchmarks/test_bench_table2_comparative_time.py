@@ -1,0 +1,48 @@
+"""E7 — Table 2: comparative execution times.
+
+Paper shape: "Both C4.5 alone and C4.5 together with C4.5RULES take
+exponentially higher execution times than ARCS."  The sweep reports
+seconds for ARCS, the C4.5 tree, and tree+RULES at each size; ARCS's
+growth must stay near-linear while C4.5+RULES pulls away super-linearly.
+"""
+
+from conftest import comparison_table, emit
+
+
+def test_table2_comparative_times(benchmark, comparison_sweep):
+    points = comparison_sweep[0.0]
+    augmented = []
+    for point in points:
+        augmented.append([
+            point.n_tuples,
+            round(point.arcs_seconds, 3),
+            round(point.c45_tree_seconds, 3),
+            round(point.c45_tree_seconds + point.c45_rules_seconds, 3),
+        ])
+    from repro.viz.report import format_table
+    table = format_table(
+        ["tuples", "ARCS (s)", "C4.5 (s)", "C4.5+RULES (s)"], augmented
+    )
+    emit("e7_table2_comparative_time",
+         "E7 / Table 2: comparative execution time", table)
+
+    def growth_ratios():
+        first, last = points[0], points[-1]
+        size_ratio = last.n_tuples / first.n_tuples
+        arcs_growth = last.arcs_seconds / first.arcs_seconds
+        c45_growth = (
+            (last.c45_tree_seconds + last.c45_rules_seconds)
+            / (first.c45_tree_seconds + first.c45_rules_seconds)
+        )
+        return size_ratio, arcs_growth, c45_growth
+
+    size_ratio, arcs_growth, c45_growth = benchmark(growth_ratios)
+
+    # ARCS grows at most ~linearly; C4.5+RULES grows faster than ARCS.
+    assert arcs_growth < size_ratio * 1.5
+    assert c45_growth > arcs_growth
+    # C4.5+RULES is the slowest system at the largest size (paper's
+    # ordering).
+    last = points[-1]
+    assert (last.c45_tree_seconds + last.c45_rules_seconds
+            > last.arcs_seconds)

@@ -1,0 +1,33 @@
+"""One-stop evaluation: everything the library can say about one fit.
+
+Fits ARCS on the paper's headline setting and prints the consolidated
+evaluation report — rules, thresholds, the verifier's estimate with its
+noise-floor decomposition, the exact region accuracy against the
+generating function, and the optimizer's full search transcript.
+
+Run:  python examples/full_evaluation_report.py
+"""
+
+import repro
+from repro.analysis.report import evaluation_report
+from repro.data.functions import true_regions
+
+
+def main() -> None:
+    table = repro.generate_synthetic(
+        repro.SyntheticConfig(n_tuples=50_000, function_id=2,
+                              perturbation=0.05, seed=42)
+    )
+    result = repro.ARCS().fit(table, "age", "salary", "group", "A")
+    print(evaluation_report(
+        result,
+        table=table,
+        function_id=2,
+        true_regions=true_regions(2),
+        x_range=(20, 80),
+        y_range=(20_000, 150_000),
+    ))
+
+
+if __name__ == "__main__":
+    main()

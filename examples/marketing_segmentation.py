@@ -1,0 +1,94 @@
+"""The paper's motivating scenario: segmenting a customer database.
+
+A direct-mail company rates its customers "excellent", "above average"
+or "average" by profitability and wants a *segmentation*: readable
+rules over demographic attributes that characterise the excellent
+customers, to target look-alike prospects (paper Section 1).
+
+This example builds such a customer table (three rating groups with
+planted structure in age x income), runs ARCS once per criterion value,
+and prints a segmentation per rating — including the re-use of one
+BinArray across criterion values the paper highlights ("we can compute
+an entirely new segmentation for a different value of the segmentation
+criteria without the need to re-bin the original data").
+
+Run:  python examples/marketing_segmentation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.selection import rank_attribute_pairs
+from repro.data.schema import Table, categorical, quantitative
+
+RATINGS = ("excellent", "above average", "average")
+
+
+def build_customer_table(n: int = 40_000, seed: int = 7) -> Table:
+    """Synthetic customer base with planted rating structure.
+
+    Excellent customers concentrate in two (age, income) pockets:
+    established high earners (45-60, 80k-140k) and young professionals
+    (25-35, 60k-100k).  Above-average customers ring those pockets;
+    everyone else is average.  5% label noise keeps it honest.
+    """
+    rng = np.random.default_rng(seed)
+    age = rng.uniform(18, 75, n)
+    income = rng.uniform(10_000, 160_000, n)
+    tenure = rng.uniform(0, 20, n)  # years as a customer (no signal)
+
+    established = (age >= 45) & (age < 60) & (income >= 80_000) & (
+        income < 140_000
+    )
+    young_pro = (age >= 25) & (age < 35) & (income >= 60_000) & (
+        income < 100_000
+    )
+    ring = (
+        (age >= 40) & (age < 65) & (income >= 60_000) & (income < 150_000)
+    ) & ~established
+
+    rating = np.full(n, "average", dtype=object)
+    rating[ring] = "above average"
+    rating[established | young_pro] = "excellent"
+    noise = rng.random(n) < 0.05
+    shuffle = rng.choice(RATINGS, size=n)
+    rating[noise] = shuffle[noise]
+
+    return Table.from_columns(
+        [quantitative("age", 18, 75),
+         quantitative("income", 10_000, 160_000),
+         quantitative("tenure", 0, 20),
+         categorical("rating", RATINGS)],
+        {"age": age, "income": income, "tenure": tenure,
+         "rating": rating.tolist()},
+    )
+
+
+def main() -> None:
+    customers = build_customer_table()
+    print(f"customer base: {len(customers):,} records")
+
+    # Which attribute pair carries the rating signal?  (Section 5's
+    # information-gain selection; here it confirms age x income.)
+    ranked = rank_attribute_pairs(
+        customers, ["age", "income", "tenure"], "rating"
+    )
+    print("\nattribute pairs by joint information gain:")
+    for gain, a, b in ranked:
+        print(f"  {a} x {b}: {gain:.3f} bits")
+    _, x_attr, y_attr = ranked[0]
+
+    # One ARCS fit per criterion value.  The binner runs per fit here
+    # for clarity; the BinArray it builds holds counts for every rating
+    # at once, which is what makes multi-criterion segmentation cheap.
+    arcs = repro.ARCS()
+    for rating in RATINGS:
+        result = arcs.fit(customers, x_attr, y_attr, "rating", rating)
+        print(f"\nsegmentation for rating = {rating!r} "
+              f"({len(result.segmentation)} rules, "
+              f"error {result.best_trial.report.error_rate:.3f}):")
+        print(result.segmentation.describe())
+
+
+if __name__ == "__main__":
+    main()

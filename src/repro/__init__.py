@@ -1,0 +1,59 @@
+"""ARCS — Association Rule Clustering System.
+
+A full reproduction of Lent, Swami and Widom, *Clustering Association
+Rules* (ICDE 1997): mining clustered two-attribute association rules that
+segment large tuple-oriented databases, built around the BitOp geometric
+clustering algorithm, a single-pass specialised rule engine over a
+resident BinArray, low-pass grid smoothing, dynamic pruning, a sampled
+verifier and an MDL-guided heuristic threshold optimizer.
+
+Quick start::
+
+    import repro
+
+    config = repro.SyntheticConfig(n_tuples=50_000, function_id=2,
+                                   perturbation=0.05)
+    table = repro.generate_synthetic(config)
+    result = repro.ARCS().fit(table, "age", "salary", "group", "A")
+    print(result.segmentation.describe())
+
+Subpackages: :mod:`repro.core` (ARCS + BitOp), :mod:`repro.binning`,
+:mod:`repro.mining`, :mod:`repro.data`, :mod:`repro.baselines` (C4.5),
+:mod:`repro.analysis`, :mod:`repro.extensions`, :mod:`repro.viz`.
+"""
+
+from repro.core.segmentation import Segmentation
+from repro.core.arcs import ARCS, ARCSConfig, ARCSResult
+from repro.core.bitop import BitOpClusterer
+from repro.core.clusterer import ClustererConfig, GridClusterer
+from repro.core.mdl import MDLWeights, mdl_cost
+from repro.core.optimizer import OptimizerConfig
+from repro.core.rules import ClusteredRule, GridRect, Interval
+from repro.core.verifier import VerificationReport, Verifier
+from repro.data.schema import AttributeSpec, Table
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARCS",
+    "ARCSConfig",
+    "ARCSResult",
+    "AttributeSpec",
+    "BitOpClusterer",
+    "ClustererConfig",
+    "ClusteredRule",
+    "GridClusterer",
+    "GridRect",
+    "Interval",
+    "MDLWeights",
+    "mdl_cost",
+    "OptimizerConfig",
+    "Segmentation",
+    "SyntheticConfig",
+    "Table",
+    "VerificationReport",
+    "Verifier",
+    "generate_synthetic",
+    "__version__",
+]

@@ -1,0 +1,89 @@
+"""A consolidated evaluation report for a fitted ARCS result.
+
+Pulls the scattered quality evidence into one text document: the rules
+themselves, the winning thresholds, the verifier's estimate with its
+noise-floor decomposition, the exact region accuracy when the
+generating truth is known, and the optimizer's search transcript.  The
+examples and the CLI use it; it is also a worked demonstration of how
+the analysis modules compose.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.accuracy import exact_region_error
+from repro.analysis.calibration import decompose_error
+from repro.core.arcs import ARCSResult
+from repro.data.functions import Region
+from repro.data.schema import Table
+from repro.viz.report import format_trial_history
+
+
+def evaluation_report(result: ARCSResult, table: Table | None = None,
+                      function_id: int | None = None,
+                      true_regions: Sequence[Region] | None = None,
+                      x_range: tuple[float, float] | None = None,
+                      y_range: tuple[float, float] | None = None,
+                      include_history: bool = True) -> str:
+    """Render a full evaluation of ``result`` as text.
+
+    Parameters
+    ----------
+    result:
+        A fitted :class:`~repro.core.arcs.ARCSResult`.
+    table, function_id:
+        When both are given, the measured error is decomposed into the
+        generator's irreducible noise floor and the structural excess.
+    true_regions, x_range, y_range:
+        When all are given, the exact (area-based) region accuracy of
+        paper Figure 9 is included.
+    include_history:
+        Append the optimizer's trial transcript.
+    """
+    segmentation = result.segmentation
+    lines = [
+        f"Segmentation for {segmentation.rhs_attribute} = "
+        f"{segmentation.rhs_value} over "
+        f"({segmentation.x_attribute}, {segmentation.y_attribute})",
+        "=" * 64,
+        segmentation.describe(),
+        "",
+        f"winning thresholds: min support {result.best_trial.min_support:.6f}, "
+        f"min confidence {result.best_trial.min_confidence:.4f}",
+        f"verifier estimate: error rate "
+        f"{result.best_trial.report.error_rate:.4f} "
+        f"(+/- {result.best_trial.report.error_rate_stderr:.4f} s.e., "
+        f"{result.best_trial.report.repeats} x "
+        f"{result.best_trial.report.sample_size} samples)",
+        f"MDL cost: {result.best_trial.mdl_cost:.3f}   "
+        f"search stopped by: {result.stopped_by}",
+    ]
+
+    if table is not None and function_id is not None:
+        decomposition = decompose_error(
+            result.best_trial.report.error_rate, table, function_id,
+            group_column=segmentation.rhs_attribute,
+            group_a=segmentation.rhs_value,
+        )
+        lines.append(f"noise decomposition: {decomposition}")
+
+    if (true_regions is not None and x_range is not None
+            and y_range is not None):
+        region_report = exact_region_error(
+            segmentation, true_regions, x_range, y_range
+        )
+        lines.append(
+            "exact region accuracy: "
+            f"FP area {region_report.false_positive_area:.4f}, "
+            f"FN area {region_report.false_negative_area:.4f}, "
+            f"Jaccard {region_report.jaccard:.3f}"
+        )
+
+    if include_history:
+        lines.extend([
+            "",
+            f"optimizer transcript ({len(result.history)} trials):",
+            format_trial_history(result.history),
+        ])
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Compatibility alias: :class:`Segmentation` lives in
+:mod:`repro.core.segmentation` (core depends on it, so it is core API);
+this module keeps the documented ``repro.analysis`` import path working."""
+
+from repro.core.segmentation import Segmentation
+
+__all__ = ["Segmentation"]

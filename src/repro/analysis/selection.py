@@ -1,0 +1,146 @@
+"""Attribute selection helpers (paper Sections 1 and 5).
+
+The paper assumes the user picks the two LHS attributes but points at
+statistical techniques — factor analysis / principal component analysis
+(Section 1) and information-gain measures such as entropy (Section 5) —
+for choosing the most influential pair automatically.  Both families are
+implemented here:
+
+* :func:`information_gain` scores one quantitative attribute against the
+  group label by entropy reduction over equi-width bins;
+* :func:`rank_attribute_pairs` ranks candidate LHS pairs by joint
+  information gain, the selection criterion the future-work section
+  sketches;
+* :func:`principal_components` computes the covariance eigenstructure of
+  the quantitative attributes, exposing the variance-dominant directions
+  PCA-based selection would use.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import Table
+
+
+def _entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of a count vector."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+def _label_codes(table: Table, label_attribute: str) -> np.ndarray:
+    labels = table.column(label_attribute)
+    values = {value: code for code, value in
+              enumerate(dict.fromkeys(labels.tolist()))}
+    return np.asarray([values[label] for label in labels], dtype=np.int64)
+
+
+def information_gain(table: Table, attribute: str, label_attribute: str,
+                     n_bins: int = 10) -> float:
+    """Information gain of a binned quantitative attribute w.r.t. labels.
+
+    ``H(label) - H(label | bin(attribute))`` with equi-width bins over the
+    attribute's range; higher means the attribute separates the groups
+    better, so it is a better LHS candidate.
+    """
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    codes = _label_codes(table, label_attribute)
+    n_labels = int(codes.max()) + 1 if len(codes) else 0
+    base = _entropy(np.bincount(codes, minlength=n_labels))
+
+    values = table.column(attribute)
+    low, high = table.observed_range(attribute)
+    edges = np.linspace(low, high, n_bins + 1)
+    bins = np.clip(np.searchsorted(edges, values, side="right") - 1,
+                   0, n_bins - 1)
+
+    conditional = 0.0
+    n = len(table)
+    for b in range(n_bins):
+        mask = bins == b
+        weight = mask.sum() / n if n else 0.0
+        if weight == 0.0:
+            continue
+        conditional += weight * _entropy(
+            np.bincount(codes[mask], minlength=n_labels)
+        )
+    return base - conditional
+
+
+def joint_information_gain(table: Table, attribute_a: str, attribute_b: str,
+                           label_attribute: str, n_bins: int = 10) -> float:
+    """Information gain of the *pair* over a joint equi-width grid."""
+    codes = _label_codes(table, label_attribute)
+    n_labels = int(codes.max()) + 1 if len(codes) else 0
+    base = _entropy(np.bincount(codes, minlength=n_labels))
+
+    def binned(name: str) -> np.ndarray:
+        values = table.column(name)
+        low, high = table.observed_range(name)
+        edges = np.linspace(low, high, n_bins + 1)
+        return np.clip(
+            np.searchsorted(edges, values, side="right") - 1, 0, n_bins - 1
+        )
+
+    joint = binned(attribute_a) * n_bins + binned(attribute_b)
+    conditional = 0.0
+    n = len(table)
+    for cell in np.unique(joint):
+        mask = joint == cell
+        weight = mask.sum() / n
+        conditional += weight * _entropy(
+            np.bincount(codes[mask], minlength=n_labels)
+        )
+    return base - conditional
+
+
+def rank_attribute_pairs(table: Table, candidates: Sequence[str],
+                         label_attribute: str,
+                         n_bins: int = 10) -> list[tuple[float, str, str]]:
+    """Rank quantitative attribute pairs by joint information gain.
+
+    Returns ``(gain, attribute_a, attribute_b)`` triples, best first —
+    the automated version of "the two LHS attributes are chosen by the
+    user".
+    """
+    ranked = []
+    for a, b in combinations(candidates, 2):
+        gain = joint_information_gain(table, a, b, label_attribute, n_bins)
+        ranked.append((gain, a, b))
+    ranked.sort(key=lambda triple: (-triple[0], triple[1], triple[2]))
+    return ranked
+
+
+def principal_components(table: Table,
+                         attributes: Sequence[str]) -> tuple[np.ndarray,
+                                                             np.ndarray]:
+    """Eigenvalues and eigenvectors of the standardised covariance matrix.
+
+    Columns are standardised (zero mean, unit variance) so domains of very
+    different scales (age vs salary) contribute comparably.  Returns
+    ``(eigenvalues, eigenvectors)`` sorted by descending eigenvalue;
+    ``eigenvectors[:, k]`` is the k-th component over ``attributes``.
+    """
+    if len(attributes) < 2:
+        raise ValueError("need at least two attributes for PCA")
+    matrix = np.column_stack(
+        [np.asarray(table.column(name), dtype=np.float64)
+         for name in attributes]
+    )
+    matrix = matrix - matrix.mean(axis=0)
+    scales = matrix.std(axis=0)
+    scales[scales == 0] = 1.0
+    matrix = matrix / scales
+    covariance = np.cov(matrix, rowvar=False)
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    order = np.argsort(eigenvalues)[::-1]
+    return eigenvalues[order], eigenvectors[:, order]

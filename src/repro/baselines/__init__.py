@@ -1,0 +1,39 @@
+"""Comparison baselines (paper Section 4.2).
+
+The paper compares ARCS segmentations against rules produced by Quinlan's
+C4.5 decision-tree learner and its C4.5RULES post-processor.  Quinlan's
+original C code is not available offline, so this subpackage implements a
+faithful C4.5-style learner from scratch:
+
+* :mod:`repro.baselines.decision_tree` — gain-ratio splits, binary
+  thresholds on continuous attributes, multiway splits on categorical
+  ones, pessimistic-error subtree replacement pruning;
+* :mod:`repro.baselines.c45_rules` — path-to-rule extraction with greedy
+  condition dropping and accuracy ordering, the C4.5RULES analogue;
+* :mod:`repro.baselines.metrics` — the error measures shared with ARCS so
+  Figures 11–14 compare like with like.
+
+The properties the paper's comparison rests on hold for this
+implementation: it needs the whole training set in memory, produces many
+more rules than ARCS, reacts badly to label outliers, and its training
+time grows super-linearly with the data.
+"""
+
+from repro.baselines.c45_rules import C45Rules, ExtractedRule
+from repro.baselines.decision_tree import C45Tree, TreeConfig
+from repro.baselines.majority import MajorityClassifier, majority_error_floor
+from repro.baselines.metrics import (
+    classification_error,
+    segmentation_error_counts,
+)
+
+__all__ = [
+    "C45Tree",
+    "TreeConfig",
+    "C45Rules",
+    "ExtractedRule",
+    "MajorityClassifier",
+    "majority_error_floor",
+    "classification_error",
+    "segmentation_error_counts",
+]

@@ -1,0 +1,59 @@
+"""Error metrics shared by ARCS and the C4.5 baseline (Section 4.2).
+
+Figures 11 and 12 plot a single "error rate" for both systems, so both
+must be scored the same way: treat each system as a one-vs-rest detector
+of the criterion group and count false positives plus false negatives
+over a test table.  For ARCS the detector is the segmentation's cluster
+cover; for C4.5 it is "predicted label == criterion value".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Table
+
+
+def segmentation_error_counts(predicted_in_group: np.ndarray,
+                              actual_in_group: np.ndarray
+                              ) -> tuple[int, int]:
+    """Return ``(false_positives, false_negatives)`` for boolean masks."""
+    predicted = np.asarray(predicted_in_group, dtype=bool)
+    actual = np.asarray(actual_in_group, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: {predicted.shape} vs {actual.shape}"
+        )
+    false_positives = int(np.sum(predicted & ~actual))
+    false_negatives = int(np.sum(~predicted & actual))
+    return false_positives, false_negatives
+
+
+def error_rate(predicted_in_group: np.ndarray,
+               actual_in_group: np.ndarray) -> float:
+    """``(FP + FN) / n`` — the quantity Figures 11/12 plot."""
+    false_positives, false_negatives = segmentation_error_counts(
+        predicted_in_group, actual_in_group
+    )
+    n = len(np.asarray(predicted_in_group))
+    if n == 0:
+        raise ValueError("cannot compute an error rate over no tuples")
+    return (false_positives + false_negatives) / n
+
+
+def classification_error(predicted_labels: np.ndarray, table: Table,
+                         label_attribute: str, target_value) -> float:
+    """One-vs-rest error of a classifier's label predictions.
+
+    Projects the multi-class predictions onto "in the criterion group or
+    not" before counting, so a classifier and a segmentation are measured
+    identically.
+    """
+    actual = np.asarray(
+        [label == target_value
+         for label in table.column(label_attribute)], dtype=bool
+    )
+    predicted = np.asarray(
+        [label == target_value for label in predicted_labels], dtype=bool
+    )
+    return error_rate(predicted, actual)

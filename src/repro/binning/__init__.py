@@ -1,0 +1,34 @@
+"""Binning substrate (paper Section 3.1).
+
+Quantitative attributes are partitioned into *bins* before mining; the
+paper uses equi-width bins but names equi-depth and homogeneity-based bins
+as drop-in alternatives, and all three are implemented in
+:mod:`repro.binning.strategies`.  Categorical attributes are mapped to
+consecutive integer codes (:mod:`repro.binning.categorical`).  The
+:class:`~repro.binning.binner.Binner` streams tuples once and accumulates
+the :class:`~repro.binning.bin_array.BinArray` — the in-memory count cube
+that makes re-mining at new thresholds instantaneous.
+"""
+
+from repro.binning.bin_array import BinArray
+from repro.binning.binner import Binner, bin_table
+from repro.binning.categorical import CategoricalEncoding
+from repro.binning.strategies import (
+    BinLayout,
+    equi_depth_layout,
+    equi_width_layout,
+    homogeneity_layout,
+    make_layout,
+)
+
+__all__ = [
+    "BinLayout",
+    "equi_width_layout",
+    "equi_depth_layout",
+    "homogeneity_layout",
+    "make_layout",
+    "CategoricalEncoding",
+    "BinArray",
+    "Binner",
+    "bin_table",
+]

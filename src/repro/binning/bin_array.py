@@ -1,0 +1,194 @@
+"""The BinArray: ARCS's in-memory count cube (paper Section 3.1).
+
+For every ``(bin_x, bin_y)`` cell the BinArray holds the number of tuples
+per RHS (segmentation) value and the cell's total tuple count — the paper's
+``n_x * n_y * (n_seg + 1)`` array.  It is the only state the system keeps
+about the data, which is what gives ARCS its constant-memory, single-pass
+profile and makes re-mining at different thresholds "nearly instantaneous":
+support and confidence of every candidate rule are pure array lookups.
+
+A *single-target* memory mode mirrors the paper's ``n_seg = 1`` fallback:
+only the criterion value's counts (plus totals) are kept, halving the cube
+for high-cardinality RHS attributes at the cost of needing a re-bin to
+segment on a different criterion value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.binning.categorical import CategoricalEncoding
+from repro.binning.strategies import BinLayout
+
+
+@dataclass
+class BinArray:
+    """Per-cell tuple counts over the binned two-attribute space.
+
+    Attributes
+    ----------
+    x_layout, y_layout:
+        The bin layouts of the two LHS attributes.
+    rhs_encoding:
+        Encoding of the RHS attribute's values.  In single-target mode this
+        still names the full domain; only the stored counts shrink.
+    target_code:
+        ``None`` for the full cube; otherwise the single RHS code whose
+        counts are kept.
+    """
+
+    x_layout: BinLayout
+    y_layout: BinLayout
+    rhs_encoding: CategoricalEncoding
+    target_code: int | None = None
+    counts: np.ndarray = field(init=False, repr=False)
+    totals: np.ndarray = field(init=False, repr=False)
+    n_total: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        n_x, n_y = self.x_layout.n_bins, self.y_layout.n_bins
+        n_seg = 1 if self.target_code is not None else (
+            self.rhs_encoding.cardinality
+        )
+        self.counts = np.zeros((n_x, n_y, n_seg), dtype=np.int64)
+        self.totals = np.zeros((n_x, n_y), dtype=np.int64)
+        self.n_total = 0
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_x(self) -> int:
+        return self.x_layout.n_bins
+
+    @property
+    def n_y(self) -> int:
+        return self.y_layout.n_bins
+
+    @property
+    def single_target(self) -> bool:
+        return self.target_code is not None
+
+    def memory_cells(self) -> int:
+        """Number of stored counters (the paper's memory footprint)."""
+        return int(self.counts.size + self.totals.size)
+
+    # ------------------------------------------------------------------
+    # Accumulation (one streaming pass)
+    # ------------------------------------------------------------------
+    def add_chunk(self, x_bins: np.ndarray, y_bins: np.ndarray,
+                  rhs_codes: np.ndarray) -> None:
+        """Accumulate one chunk of binned tuples.
+
+        ``x_bins``/``y_bins`` are bin indices from the layouts;
+        ``rhs_codes`` are RHS codes from the encoding.  All three arrays
+        must be the same length.
+        """
+        x_bins = np.asarray(x_bins, dtype=np.int64)
+        y_bins = np.asarray(y_bins, dtype=np.int64)
+        rhs_codes = np.asarray(rhs_codes, dtype=np.int64)
+        if not (len(x_bins) == len(y_bins) == len(rhs_codes)):
+            raise ValueError("chunk arrays must have equal length")
+        np.add.at(self.totals, (x_bins, y_bins), 1)
+        if self.single_target:
+            hits = rhs_codes == self.target_code
+            np.add.at(
+                self.counts,
+                (x_bins[hits], y_bins[hits], np.zeros(hits.sum(), np.intp)),
+                1,
+            )
+        else:
+            np.add.at(self.counts, (x_bins, y_bins, rhs_codes), 1)
+        self.n_total += len(x_bins)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _slot(self, rhs_code: int) -> int:
+        if self.single_target:
+            if rhs_code != self.target_code:
+                raise ValueError(
+                    f"BinArray was built in single-target mode for code "
+                    f"{self.target_code}; cannot query code {rhs_code}"
+                )
+            return 0
+        if not 0 <= rhs_code < self.rhs_encoding.cardinality:
+            raise ValueError(f"RHS code {rhs_code} out of range")
+        return rhs_code
+
+    def count_grid(self, rhs_code: int) -> np.ndarray:
+        """Per-cell tuple counts for one RHS value, shape ``(n_x, n_y)``."""
+        return self.counts[:, :, self._slot(rhs_code)]
+
+    def support_grid(self, rhs_code: int) -> np.ndarray:
+        """Per-cell support (fraction of all tuples) for one RHS value."""
+        if self.n_total == 0:
+            return np.zeros((self.n_x, self.n_y))
+        return self.count_grid(rhs_code) / float(self.n_total)
+
+    def confidence_grid(self, rhs_code: int) -> np.ndarray:
+        """Per-cell confidence for one RHS value (0 where the cell is
+        empty)."""
+        counts = self.count_grid(rhs_code).astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            confidence = np.where(
+                self.totals > 0, counts / self.totals, 0.0
+            )
+        return confidence
+
+    def cell_support(self, i: int, j: int, rhs_code: int) -> float:
+        """Support of the rule ``X=i AND Y=j => C=code`` (paper Fig 3)."""
+        if self.n_total == 0:
+            return 0.0
+        return float(self.count_grid(rhs_code)[i, j]) / self.n_total
+
+    def cell_confidence(self, i: int, j: int, rhs_code: int) -> float:
+        """Confidence of the rule ``X=i AND Y=j => C=code``."""
+        total = int(self.totals[i, j])
+        if total == 0:
+            return 0.0
+        return float(self.count_grid(rhs_code)[i, j]) / total
+
+    def occupied_cells(self, rhs_code: int) -> int:
+        """Number of cells with at least one tuple of the RHS value."""
+        return int(np.count_nonzero(self.count_grid(rhs_code)))
+
+    # ------------------------------------------------------------------
+    # Threshold enumeration (paper Figure 10)
+    # ------------------------------------------------------------------
+    def unique_support_counts(self, rhs_code: int) -> np.ndarray:
+        """The distinct nonzero per-cell counts for the RHS value, sorted
+        ascending — the support axis of the paper's threshold structure."""
+        counts = self.count_grid(rhs_code)
+        distinct = np.unique(counts[counts > 0])
+        return distinct
+
+    def unique_confidences(self, rhs_code: int,
+                           min_count: int = 1) -> np.ndarray:
+        """Distinct confidences among cells whose count is at least
+        ``min_count``, sorted ascending — one confidence list of the
+        paper's Figure 10 structure."""
+        counts = self.count_grid(rhs_code)
+        mask = counts >= max(1, min_count)
+        if not mask.any():
+            return np.array([], dtype=np.float64)
+        confidences = counts[mask] / self.totals[mask].astype(np.float64)
+        return np.unique(confidences)
+
+    # ------------------------------------------------------------------
+    # Region aggregation (used when clusters are scored on the BinArray)
+    # ------------------------------------------------------------------
+    def region_counts(self, x_lo: int, x_hi: int, y_lo: int, y_hi: int,
+                      rhs_code: int) -> tuple[int, int]:
+        """Return ``(target_count, total_count)`` over an inclusive bin
+        rectangle, the aggregates behind a clustered rule's support and
+        confidence."""
+        if not (0 <= x_lo <= x_hi < self.n_x):
+            raise ValueError(f"x range {x_lo}..{x_hi} out of bounds")
+        if not (0 <= y_lo <= y_hi < self.n_y):
+            raise ValueError(f"y range {y_lo}..{y_hi} out of bounds")
+        block = self.count_grid(rhs_code)[x_lo:x_hi + 1, y_lo:y_hi + 1]
+        totals = self.totals[x_lo:x_hi + 1, y_lo:y_hi + 1]
+        return int(block.sum()), int(totals.sum())

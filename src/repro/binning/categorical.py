@@ -1,0 +1,89 @@
+"""Categorical value encoding (paper Section 2.1).
+
+"For categorical attributes we also map the attribute values to a set of
+consecutive integers and use these integers in place of the categorical
+values."  The mapping happens before mining so the rule engine only ever
+sees integer codes; this module owns that bijection and its inverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CategoricalEncoding:
+    """A bijection between categorical values and codes ``0..n-1``.
+
+    The value order is the declared domain order (or first-seen order when
+    built from data), so codes are stable for a fixed schema.
+    """
+
+    attribute: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        values = tuple(self.values)
+        if len(values) == 0:
+            raise ValueError(
+                f"encoding for {self.attribute!r} needs at least one value"
+            )
+        if len(set(values)) != len(values):
+            raise ValueError(
+                f"duplicate values in encoding for {self.attribute!r}"
+            )
+        object.__setattr__(self, "values", values)
+
+    @classmethod
+    def from_values(cls, attribute: str,
+                    observed: Sequence[Hashable]) -> "CategoricalEncoding":
+        """Build an encoding from observed data in first-seen order."""
+        seen: dict = {}
+        for value in observed:
+            if value not in seen:
+                seen[value] = len(seen)
+        return cls(attribute, tuple(seen))
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def code_of(self, value: Hashable) -> int:
+        """Return the code of a single value."""
+        try:
+            return self._index()[value]
+        except KeyError:
+            raise KeyError(
+                f"value {value!r} not in the domain of {self.attribute!r}"
+            ) from None
+
+    def _index(self) -> dict:
+        # Built lazily and cached on the instance; frozen dataclasses allow
+        # this via object.__setattr__ on first use.
+        cached = self.__dict__.get("_index_cache")
+        if cached is None:
+            cached = {value: code for code, value in enumerate(self.values)}
+            object.__setattr__(self, "_index_cache", cached)
+        return cached
+
+    def encode(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Map a sequence of values to an integer code array."""
+        index = self._index()
+        try:
+            return np.fromiter(
+                (index[value] for value in values),
+                dtype=np.int64,
+                count=len(values),
+            )
+        except KeyError as error:
+            raise KeyError(
+                f"value {error.args[0]!r} not in the domain of "
+                f"{self.attribute!r}"
+            ) from None
+
+    def decode(self, codes: Sequence[int]) -> list:
+        """Map integer codes back to values."""
+        return [self.values[int(code)] for code in codes]

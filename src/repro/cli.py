@@ -1,0 +1,294 @@
+"""Command-line interface to the ARCS system.
+
+Subcommands mirror the library workflow:
+
+* ``arcs generate`` — write a synthetic demographic data set (the
+  paper's Table 1 generator) to CSV;
+* ``arcs fit`` — run the full ARCS pipeline on a CSV and print (and
+  optionally save) the segmentation;
+* ``arcs remine`` — re-mine a saved BinArray at explicit thresholds
+  (the paper's instantaneous threshold change, across processes);
+* ``arcs inspect`` — pretty-print a saved segmentation and optionally
+  evaluate it against a CSV.
+
+Every command is driven by :func:`main`, which takes an argv list so
+tests can invoke it without a subprocess.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.binning.strategies import STRATEGIES
+from repro.core.arcs import ARCS, ARCSConfig
+from repro.core.clusterer import GridClusterer
+from repro.core.optimizer import OptimizerConfig, segmentation_from_outcome
+from repro.core.verifier import Verifier
+from repro.data.io import read_csv, write_csv
+from repro.data.schema import AttributeSpec, categorical, quantitative
+from repro.data.synthetic import DEMOGRAPHIC_ATTRIBUTES, GROUP_ATTRIBUTE
+from repro.persistence import (
+    load_bin_array,
+    load_segmentation,
+    save_bin_array,
+    save_segmentation,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="arcs",
+        description="Association Rule Clustering System "
+                    "(Lent, Swami, Widom — ICDE 1997)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic demographic data set"
+    )
+    generate.add_argument("output", type=Path, help="CSV to write")
+    generate.add_argument("--tuples", type=int, default=50_000)
+    generate.add_argument("--function", type=int, default=2,
+                          choices=range(1, 11), metavar="1..10")
+    generate.add_argument("--perturbation", type=float, default=0.05)
+    generate.add_argument("--outliers", type=float, default=0.0)
+    generate.add_argument("--seed", type=int, default=0)
+
+    fit = commands.add_parser(
+        "fit", help="run ARCS on a CSV and print the segmentation"
+    )
+    fit.add_argument("data", type=Path, help="input CSV")
+    fit.add_argument("--x", required=True, help="first LHS attribute")
+    fit.add_argument("--y", required=True, help="second LHS attribute")
+    fit.add_argument("--rhs", required=True,
+                     help="segmentation (criterion) attribute")
+    fit.add_argument("--target", required=True,
+                     help="criterion value to segment on")
+    fit.add_argument("--bins", type=int, default=50,
+                     help="bins per LHS attribute (paper default 50)")
+    fit.add_argument("--strategy", default="equi-width",
+                     choices=STRATEGIES)
+    fit.add_argument("--save-segmentation", type=Path, default=None,
+                     help="write the result as JSON")
+    fit.add_argument("--save-binarray", type=Path, default=None,
+                     help="persist the BinArray for later re-mining")
+    fit.add_argument("--support-levels", type=int, default=16)
+    fit.add_argument("--confidence-levels", type=int, default=8)
+    fit.add_argument("--time-budget", type=float, default=None,
+                     help="optimizer wall-clock budget in seconds")
+    fit.add_argument("--verbose", action="store_true",
+                     help="print every optimizer trial as it completes")
+
+    fit_all = commands.add_parser(
+        "fit-all",
+        help="one segmentation per criterion value, from one binning "
+             "pass",
+    )
+    fit_all.add_argument("data", type=Path, help="input CSV")
+    fit_all.add_argument("--x", required=True)
+    fit_all.add_argument("--y", required=True)
+    fit_all.add_argument("--rhs", required=True)
+    fit_all.add_argument("--bins", type=int, default=50)
+    fit_all.add_argument("--support-levels", type=int, default=16)
+    fit_all.add_argument("--confidence-levels", type=int, default=8)
+
+    remine = commands.add_parser(
+        "remine",
+        help="re-mine a saved BinArray at explicit thresholds",
+    )
+    remine.add_argument("binarray", type=Path, help="saved .npz")
+    remine.add_argument("--target", required=True)
+    remine.add_argument("--min-support", type=float, required=True)
+    remine.add_argument("--min-confidence", type=float, required=True)
+    remine.add_argument("--save-segmentation", type=Path, default=None)
+
+    describe = commands.add_parser(
+        "describe", help="profile a CSV's attributes"
+    )
+    describe.add_argument("data", type=Path, help="input CSV")
+    describe.add_argument("--top", type=int, default=5,
+                          help="top categorical values to list")
+
+    inspect = commands.add_parser(
+        "inspect", help="print a saved segmentation"
+    )
+    inspect.add_argument("segmentation", type=Path, help="saved JSON")
+    inspect.add_argument("--evaluate", type=Path, default=None,
+                         help="CSV to measure the error rate against")
+
+    return parser
+
+
+def _infer_specs(path: Path) -> list[AttributeSpec]:
+    """Infer a schema from a CSV: numeric-looking columns become
+    quantitative, the rest categorical.
+
+    The synthetic generator's schema is recognised by its header and
+    used verbatim (declared domains keep bin layouts canonical).
+    """
+    with open(path) as handle:
+        header = handle.readline().strip().split(",")
+        sample = handle.readline().strip().split(",")
+    synthetic_names = [
+        spec.name for spec in DEMOGRAPHIC_ATTRIBUTES
+    ] + [GROUP_ATTRIBUTE.name]
+    if set(header) == set(synthetic_names):
+        return list(DEMOGRAPHIC_ATTRIBUTES) + [GROUP_ATTRIBUTE]
+    specs = []
+    for name, value in zip(header, sample):
+        try:
+            float(value)
+        except ValueError:
+            specs.append(categorical(name))
+        else:
+            specs.append(quantitative(name))
+    return specs
+
+
+def _coerce_target(value: str):
+    """CSV round trips stringify everything, so targets stay strings
+    unless the RHS encoding holds numbers."""
+    return value
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    config = repro.SyntheticConfig(
+        n_tuples=args.tuples,
+        function_id=args.function,
+        perturbation=args.perturbation,
+        outlier_fraction=args.outliers,
+        seed=args.seed,
+    )
+    table = repro.generate_synthetic(config)
+    write_csv(table, args.output)
+    print(f"wrote {len(table):,} tuples to {args.output}")
+    return 0
+
+
+def _command_fit(args: argparse.Namespace) -> int:
+    specs = _infer_specs(args.data)
+    table = read_csv(args.data, specs)
+    print(f"loaded {len(table):,} tuples from {args.data}")
+
+    config = ARCSConfig(
+        n_bins_x=args.bins,
+        n_bins_y=args.bins,
+        binning_strategy=args.strategy,
+        optimizer=OptimizerConfig(
+            max_support_levels=args.support_levels,
+            max_confidence_levels=args.confidence_levels,
+            time_budget_seconds=args.time_budget,
+        ),
+    )
+    start = time.perf_counter()
+    result = ARCS(config).fit(
+        table, args.x, args.y, args.rhs, _coerce_target(args.target),
+        on_trial=print if args.verbose else None,
+    )
+    elapsed = time.perf_counter() - start
+
+    print(f"\nsegmentation for {args.rhs} = {args.target} "
+          f"({elapsed:.2f}s, {len(result.history)} trials):")
+    print(result.segmentation.describe())
+    print(f"\n{result.best_trial}")
+
+    if args.save_segmentation is not None:
+        save_segmentation(result.segmentation, args.save_segmentation)
+        print(f"segmentation saved to {args.save_segmentation}")
+    if args.save_binarray is not None:
+        save_bin_array(result.binner.bin_array, args.save_binarray)
+        print(f"BinArray saved to {args.save_binarray}")
+    return 0
+
+
+def _command_fit_all(args: argparse.Namespace) -> int:
+    specs = _infer_specs(args.data)
+    table = read_csv(args.data, specs)
+    print(f"loaded {len(table):,} tuples from {args.data}")
+    config = ARCSConfig(
+        n_bins_x=args.bins,
+        n_bins_y=args.bins,
+        optimizer=OptimizerConfig(
+            max_support_levels=args.support_levels,
+            max_confidence_levels=args.confidence_levels,
+        ),
+    )
+    results = ARCS(config).fit_all(table, args.x, args.y, args.rhs)
+    for value, result in results.items():
+        print(f"\n=== {args.rhs} = {value} "
+              f"({len(result.segmentation)} rules, "
+              f"error {result.best_trial.report.error_rate:.4f}) ===")
+        print(result.segmentation.describe())
+    return 0
+
+
+def _command_remine(args: argparse.Namespace) -> int:
+    bin_array = load_bin_array(args.binarray)
+    target = _coerce_target(args.target)
+    rhs_code = bin_array.rhs_encoding.code_of(target)
+    outcome = GridClusterer().cluster(
+        bin_array, rhs_code, args.min_support, args.min_confidence
+    )
+    segmentation = segmentation_from_outcome(
+        outcome, bin_array, rhs_code
+    )
+    print(f"re-mined at support>={args.min_support} "
+          f"confidence>={args.min_confidence}: "
+          f"{len(segmentation)} rules")
+    print(segmentation.describe())
+    if args.save_segmentation is not None:
+        save_segmentation(segmentation, args.save_segmentation)
+        print(f"segmentation saved to {args.save_segmentation}")
+    return 0
+
+
+def _command_describe(args: argparse.Namespace) -> int:
+    from repro.data.summary import format_profile, profile_table
+    specs = _infer_specs(args.data)
+    table = read_csv(args.data, specs)
+    print(format_profile(profile_table(table, top_k=args.top),
+                         len(table)))
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    segmentation = load_segmentation(args.segmentation)
+    print(f"segmentation for {segmentation.rhs_attribute} = "
+          f"{segmentation.rhs_value} ({len(segmentation)} rules):")
+    print(segmentation.describe())
+    if args.evaluate is not None:
+        specs = _infer_specs(args.evaluate)
+        table = read_csv(args.evaluate, specs)
+        verifier = Verifier(
+            table, segmentation.rhs_attribute, segmentation.rhs_value,
+            sample_size=min(5000, len(table)), repeats=5,
+        )
+        print(f"\nerror rate on {args.evaluate} "
+              f"({len(table):,} tuples): "
+              f"{verifier.exact_error_rate(segmentation):.4f}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "fit": _command_fit,
+    "fit-all": _command_fit_all,
+    "remine": _command_remine,
+    "describe": _command_describe,
+    "inspect": _command_inspect,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""The bitmap grid of qualifying rule cells (paper Section 2.2).
+
+After the rule engine emits the ``(i, j)`` pairs whose support and
+confidence clear the thresholds for the target RHS value, the pairs become
+a two-dimensional bitmap: cell ``(i, j)`` is set iff the rule
+``X = i AND Y = j => C = target`` holds.  BitOp consumes the grid as one
+arbitrary-precision integer per x-row (bit ``j`` of row ``i`` is cell
+``(i, j)``), so the bitwise-AND and shift operations of paper Figure 6 are
+literal machine/bigint operations here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.rules import BinnedRule, GridRect
+
+
+@dataclass
+class RuleGrid:
+    """A boolean grid over bin space; ``cells[i, j]`` is x-bin i, y-bin j."""
+
+    cells: np.ndarray
+
+    def __post_init__(self) -> None:
+        cells = np.asarray(self.cells, dtype=bool)
+        if cells.ndim != 2:
+            raise ValueError(f"grid must be 2-D, got shape {cells.shape}")
+        self.cells = cells
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, n_x: int, n_y: int) -> "RuleGrid":
+        return cls(np.zeros((n_x, n_y), dtype=bool))
+
+    @classmethod
+    def from_rules(cls, rules: Iterable[BinnedRule], n_x: int,
+                   n_y: int) -> "RuleGrid":
+        """Plot binned rules onto an ``n_x`` by ``n_y`` grid."""
+        grid = cls.empty(n_x, n_y)
+        for rule in rules:
+            if rule.x_bin >= n_x or rule.y_bin >= n_y:
+                raise ValueError(
+                    f"rule cell ({rule.x_bin}, {rule.y_bin}) outside "
+                    f"{n_x}x{n_y} grid"
+                )
+            grid.cells[rule.x_bin, rule.y_bin] = True
+        return grid
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]], n_x: int,
+                   n_y: int) -> "RuleGrid":
+        """Plot raw ``(i, j)`` pairs (the engine's output form)."""
+        grid = cls.empty(n_x, n_y)
+        for i, j in pairs:
+            grid.cells[i, j] = True
+        return grid
+
+    # ------------------------------------------------------------------
+    # Shape and content
+    # ------------------------------------------------------------------
+    @property
+    def n_x(self) -> int:
+        return self.cells.shape[0]
+
+    @property
+    def n_y(self) -> int:
+        return self.cells.shape[1]
+
+    @property
+    def n_set(self) -> int:
+        """Number of set cells."""
+        return int(self.cells.sum())
+
+    def is_empty(self) -> bool:
+        return not self.cells.any()
+
+    def set_pairs(self) -> list[tuple[int, int]]:
+        """The set cells as sorted ``(x, y)`` pairs."""
+        return [tuple(pair) for pair in np.argwhere(self.cells)]
+
+    def copy(self) -> "RuleGrid":
+        return RuleGrid(self.cells.copy())
+
+    # ------------------------------------------------------------------
+    # Bitmap form (BitOp input)
+    # ------------------------------------------------------------------
+    def row_bitmaps(self) -> list[int]:
+        """One Python int per x-row; bit ``j`` set iff cell ``(i, j)`` is.
+
+        Python ints are arbitrary precision, so a row of any width is one
+        "register" and the AND/shift operations BitOp needs are single
+        operations, mirroring the paper's implementation note.
+        """
+        rows = []
+        for i in range(self.n_x):
+            row_bits = 0
+            for j in np.flatnonzero(self.cells[i]):
+                row_bits |= 1 << int(j)
+            rows.append(row_bits)
+        return rows
+
+    @classmethod
+    def from_row_bitmaps(cls, rows: Sequence[int], n_y: int) -> "RuleGrid":
+        """Inverse of :meth:`row_bitmaps`."""
+        cells = np.zeros((len(rows), n_y), dtype=bool)
+        for i, row_bits in enumerate(rows):
+            j = 0
+            while row_bits:
+                if row_bits & 1:
+                    cells[i, j] = True
+                row_bits >>= 1
+                j += 1
+        return cls(cells)
+
+    # ------------------------------------------------------------------
+    # Rectangle operations
+    # ------------------------------------------------------------------
+    def covers(self, rect: GridRect) -> bool:
+        """Whether every cell of ``rect`` is set."""
+        block = self.cells[
+            rect.x_lo:rect.x_hi + 1, rect.y_lo:rect.y_hi + 1
+        ]
+        return bool(block.all())
+
+    def clear_rect(self, rect: GridRect) -> None:
+        """Clear the cells of ``rect`` in place (greedy cover step)."""
+        self.cells[rect.x_lo:rect.x_hi + 1, rect.y_lo:rect.y_hi + 1] = False
+
+    def set_rect(self, rect: GridRect) -> None:
+        """Set the cells of ``rect`` in place (test fixture helper)."""
+        self.cells[rect.x_lo:rect.x_hi + 1, rect.y_lo:rect.y_hi + 1] = True
+
+    def fraction_covered_by(self, rects: Iterable[GridRect]) -> float:
+        """Fraction of set cells covered by the rectangles."""
+        if self.is_empty():
+            return 1.0
+        covered = np.zeros_like(self.cells)
+        for rect in rects:
+            covered[rect.x_lo:rect.x_hi + 1, rect.y_lo:rect.y_hi + 1] = True
+        return float((self.cells & covered).sum()) / float(self.n_set)

@@ -1,0 +1,68 @@
+"""MDL scoring of a segmentation (paper Section 3.6).
+
+The Minimum Description Length principle: the best model minimises the
+cost of describing the model plus the cost of describing the data given
+the model.  Here the model is the set of clusters and the data cost is the
+segmentation's total error on a sample:
+
+``cost = w_c * log2(|C|) + w_e * log2(errors)``
+
+The weights let the user bias toward fewer clusters (large ``w_c``) or
+lower error (large ``w_e``); the paper's default is ``w_c = w_e = 1``.
+
+Two boundary cases the paper leaves implicit are pinned down here (see
+DESIGN.md): ``log2`` is applied to ``1 + x`` so zero clusters or zero
+errors stay finite, and an *empty* segmentation is scored as infinitely
+costly — a model that says nothing describes nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def mdl_cost(n_clusters: int, errors: float, cluster_weight: float = 1.0,
+             error_weight: float = 1.0) -> float:
+    """The MDL cost of a segmentation.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clustered rules in the segmentation (``|C|``).
+    errors:
+        Summed false positives + false negatives measured by the verifier.
+        May be a non-integer when averaged over repeated samples.
+    cluster_weight, error_weight:
+        The paper's ``w_c`` and ``w_e`` bias constants.
+    """
+    if n_clusters < 0:
+        raise ValueError("n_clusters must be non-negative")
+    if errors < 0:
+        raise ValueError("errors must be non-negative")
+    if cluster_weight < 0 or error_weight < 0:
+        raise ValueError("weights must be non-negative")
+    if n_clusters == 0:
+        return math.inf
+    model_cost = cluster_weight * math.log2(1 + n_clusters)
+    data_cost = error_weight * math.log2(1 + errors)
+    return model_cost + data_cost
+
+
+@dataclass(frozen=True)
+class MDLWeights:
+    """The ``(w_c, w_e)`` bias pair, validated once and passed around."""
+
+    cluster_weight: float = 1.0
+    error_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cluster_weight < 0 or self.error_weight < 0:
+            raise ValueError("MDL weights must be non-negative")
+
+    def cost(self, n_clusters: int, errors: float) -> float:
+        return mdl_cost(
+            n_clusters, errors,
+            cluster_weight=self.cluster_weight,
+            error_weight=self.error_weight,
+        )

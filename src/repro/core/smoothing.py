@@ -1,0 +1,87 @@
+"""Grid smoothing: the low-pass filter preprocessing step (Section 3.4).
+
+Real grids arrive with jagged edges and small holes where no rule cleared
+the thresholds (paper Figure 7a); those anomalies fragment what should be
+one large cluster.  Before clustering, ARCS therefore passes the grid
+through a two-dimensional *low-pass filter*: each cell is replaced by the
+average of its neighbourhood, which fills pinholes, erodes isolated noise
+cells and straightens edges (Figure 7b).
+
+The paper omits the filter's details "for brevity"; here the filter is a
+3x3 box mean with edge cells normalised by their actual neighbour count,
+followed by a configurable activation threshold (default 0.5: a cell
+survives iff at least half of its neighbourhood, itself included, is set).
+Section 5 reports "promising results" from smoothing the association rule
+*support values* instead of the binary grid; :func:`smooth_support`
+implements that variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grid import RuleGrid
+
+
+def neighbourhood_mean(values: np.ndarray, radius: int = 1) -> np.ndarray:
+    """Mean of each cell's ``(2*radius+1)`` square neighbourhood (itself
+    included), with border neighbourhoods truncated at the grid edge rather
+    than padded — so an edge cell is never diluted by phantom zeros."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"expected a 2-D grid, got shape {values.shape}")
+    if radius < 1:
+        raise ValueError("radius must be at least 1")
+    padded_sum = np.zeros_like(values)
+    counts = np.zeros_like(values)
+    n_x, n_y = values.shape
+    for dx in range(-radius, radius + 1):
+        for dy in range(-radius, radius + 1):
+            x_src = slice(max(0, -dx), min(n_x, n_x - dx))
+            y_src = slice(max(0, -dy), min(n_y, n_y - dy))
+            x_dst = slice(max(0, dx), min(n_x, n_x + dx))
+            y_dst = slice(max(0, dy), min(n_y, n_y + dy))
+            padded_sum[x_dst, y_dst] += values[x_src, y_src]
+            counts[x_dst, y_dst] += 1.0
+    return padded_sum / counts
+
+
+def smooth_binary(grid: RuleGrid, threshold: float = 0.5,
+                  passes: int = 1, radius: int = 1) -> RuleGrid:
+    """Low-pass filter a binary rule grid (the paper's default smoothing).
+
+    Each pass replaces the grid with ``neighbourhood_mean >= threshold``.
+    One pass with threshold 0.5 fills single-cell holes inside dense
+    regions and removes isolated single cells; more passes smooth more
+    aggressively.  Returns a new grid.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    if passes < 0:
+        raise ValueError("passes must be non-negative")
+    cells = grid.cells.astype(np.float64)
+    for _ in range(passes):
+        cells = (neighbourhood_mean(cells, radius=radius) >= threshold)
+        cells = cells.astype(np.float64)
+    return RuleGrid(cells.astype(bool))
+
+
+def smooth_support(support_grid: np.ndarray, min_support: float,
+                   passes: int = 1, radius: int = 1) -> RuleGrid:
+    """Support-weighted smoothing (the Section 5 extension).
+
+    Instead of thresholding first and smoothing the resulting bits, the
+    per-cell *support values* are low-pass filtered and only then compared
+    against the minimum support.  A pinhole surrounded by high-support
+    cells inherits enough mass to survive, while a lone marginal cell is
+    averaged away — using the magnitude information the binary variant
+    discards.
+    """
+    if min_support < 0.0:
+        raise ValueError("min_support must be non-negative")
+    if passes < 1:
+        raise ValueError("passes must be at least 1")
+    values = np.asarray(support_grid, dtype=np.float64)
+    for _ in range(passes):
+        values = neighbourhood_mean(values, radius=radius)
+    return RuleGrid(values >= min_support)

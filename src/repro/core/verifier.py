@@ -1,0 +1,132 @@
+"""The verifier: sampled error measurement (paper Section 3.6).
+
+Given a segmentation, the verifier draws repeated k-out-of-n samples from
+the source data and counts, per sample,
+
+* **false positives** — tuples a cluster covers whose group is *not* the
+  criterion value, and
+* **false negatives** — tuples of the criterion group no cluster covers.
+
+The per-sample error is ``FP + FN``; the relative error is that count over
+the sample size.  Averaging over repeats ("a stronger statistical
+technique") tightens the estimate, and the standard error across repeats
+quantifies how tight.  The MDL scorer consumes the mean error count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.segmentation import Segmentation
+from repro.data.sampling import mean_and_stderr, repeated_k_of_n
+from repro.data.schema import Table
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """The verifier's estimate for one segmentation.
+
+    ``mean_errors`` is the average FP+FN *count* per sample (what MDL
+    wants); ``error_rate`` is the same as a fraction of the sample size
+    (what the paper's Figures 11/12 plot).
+    """
+
+    mean_false_positives: float
+    mean_false_negatives: float
+    sample_size: int
+    repeats: int
+    error_rate: float
+    error_rate_stderr: float
+
+    @property
+    def mean_errors(self) -> float:
+        return self.mean_false_positives + self.mean_false_negatives
+
+
+@dataclass
+class Verifier:
+    """Estimates segmentation error on samples of one source table.
+
+    Parameters
+    ----------
+    table:
+        The source data, carrying the LHS columns and the group column.
+    rhs_attribute, target_value:
+        The criterion: rows with ``table[rhs_attribute] == target_value``
+        belong to the segment being verified.
+    sample_size:
+        ``k`` of the k-out-of-n scheme.  Clamped to the table size.
+    repeats:
+        Number of independent samples averaged.
+    seed:
+        RNG seed; a fixed verifier gives identical estimates for identical
+        segmentations, which keeps the optimizer's search deterministic.
+    """
+
+    table: Table
+    rhs_attribute: str
+    target_value: object
+    sample_size: int = 1000
+    repeats: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+        if self.repeats <= 0:
+            raise ValueError("repeats must be positive")
+        self.sample_size = min(self.sample_size, len(self.table))
+
+    def verify(self, segmentation: Segmentation) -> VerificationReport:
+        """Estimate the segmentation's error by repeated sampling."""
+        labels = self.table.column(self.rhs_attribute)
+        is_target = np.asarray(
+            [label == self.target_value for label in labels], dtype=bool
+        )
+        x_values = self.table.column(segmentation.x_attribute)
+        y_values = self.table.column(segmentation.y_attribute)
+        covered = segmentation.covers(x_values, y_values)
+
+        rng = np.random.default_rng(self.seed)
+        fp_counts, fn_counts, rates = [], [], []
+        n = len(self.table)
+        for indices in repeated_k_of_n(
+            n, self.sample_size, self.repeats, rng
+        ):
+            sample_covered = covered[indices]
+            sample_target = is_target[indices]
+            false_positives = int(np.sum(sample_covered & ~sample_target))
+            false_negatives = int(np.sum(~sample_covered & sample_target))
+            fp_counts.append(false_positives)
+            fn_counts.append(false_negatives)
+            rates.append(
+                (false_positives + false_negatives) / self.sample_size
+            )
+        mean_rate, stderr = mean_and_stderr(rates)
+        return VerificationReport(
+            mean_false_positives=float(np.mean(fp_counts)),
+            mean_false_negatives=float(np.mean(fn_counts)),
+            sample_size=self.sample_size,
+            repeats=self.repeats,
+            error_rate=mean_rate,
+            error_rate_stderr=stderr,
+        )
+
+    def exact_error_rate(self, segmentation: Segmentation) -> float:
+        """Full-table FP+FN rate (no sampling) — the ground truth the
+        sampled estimate approximates; used by tests and the figure
+        benchmarks where determinism matters more than speed."""
+        labels = self.table.column(self.rhs_attribute)
+        is_target = np.asarray(
+            [label == self.target_value for label in labels], dtype=bool
+        )
+        covered = segmentation.covers(
+            self.table.column(segmentation.x_attribute),
+            self.table.column(segmentation.y_attribute),
+        )
+        errors = np.sum(covered & ~is_target) + np.sum(
+            ~covered & is_target
+        )
+        return float(errors) / len(self.table)

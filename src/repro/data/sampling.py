@@ -1,0 +1,50 @@
+"""Sampling utilities for the ARCS verifier (paper Section 3.6).
+
+The verifier estimates a segmentation's error on a *sample* of the source
+database rather than a full pass.  To tighten the estimate the paper uses
+"repeated k out of n sampling": draw several independent samples of k rows
+and average the per-sample error rates.  These helpers produce the index
+sets; the verifier owns the error computation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def sample_indices(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Return ``k`` distinct row indices drawn uniformly from ``range(n)``."""
+    if not 0 < k <= n:
+        raise ValueError(f"need 0 < k <= n, got k={k}, n={n}")
+    return rng.choice(n, size=k, replace=False)
+
+
+def repeated_k_of_n(n: int, k: int, repeats: int,
+                    rng: np.random.Generator) -> Iterator[np.ndarray]:
+    """Yield ``repeats`` independent k-of-n samples (paper Section 3.6).
+
+    Each yielded array holds ``k`` distinct indices; successive samples are
+    independent draws, so the same row may appear in several samples.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    for _ in range(repeats):
+        yield sample_indices(n, k, rng)
+
+
+def mean_and_stderr(values) -> tuple[float, float]:
+    """Return the mean and standard error of a sequence of sample statistics.
+
+    Used to report the verifier's error estimate together with its
+    sampling uncertainty.  The standard error of a single value is zero.
+    """
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("no values to aggregate")
+    mean = float(array.mean())
+    if array.size == 1:
+        return mean, 0.0
+    stderr = float(array.std(ddof=1) / np.sqrt(array.size))
+    return mean, stderr

@@ -1,0 +1,332 @@
+"""Attribute and table model used throughout the ARCS reproduction.
+
+The paper operates on *tuple-oriented* (record) data rather than market
+baskets: a fixed schema of attributes, each either *quantitative* (ordered,
+continuous or integer-valued, e.g. ``age``, ``salary``) or *categorical*
+(finite unordered domain, e.g. ``zipcode``, ``group``).  This module defines
+
+* :class:`AttributeSpec` — the declared name, kind and domain of a column,
+* :class:`Table` — an immutable-by-convention column-major table backed by
+  NumPy arrays, with the handful of operations the rest of the system needs
+  (column access, row subsetting, sampling, chunked streaming, CSV round
+  trips via :mod:`repro.data.io`).
+
+A :class:`Table` deliberately stays small: it is a substrate, not a
+dataframe library.  Columns are NumPy arrays; quantitative columns are
+``float64`` and categorical columns are ``object`` arrays of hashable
+values.  All mutating-style operations return new tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+QUANTITATIVE = "quantitative"
+CATEGORICAL = "categorical"
+
+_VALID_KINDS = (QUANTITATIVE, CATEGORICAL)
+
+
+class SchemaError(ValueError):
+    """Raised when a table or attribute specification is inconsistent."""
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declared metadata for a single table column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a table.
+    kind:
+        Either ``"quantitative"`` or ``"categorical"``.
+    domain:
+        For quantitative attributes, an optional ``(low, high)`` pair giving
+        the closed value range the attribute is drawn from.  The binner uses
+        this to lay out equi-width bins without a data pass; when absent the
+        observed min/max are used instead.  For categorical attributes, an
+        optional tuple of admissible values in canonical order.
+    """
+
+    name: str
+    kind: str
+    domain: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise SchemaError(
+                f"attribute {self.name!r} has kind {self.kind!r}; "
+                f"expected one of {_VALID_KINDS}"
+            )
+        if self.domain is not None:
+            object.__setattr__(self, "domain", tuple(self.domain))
+            if self.is_quantitative:
+                if len(self.domain) != 2:
+                    raise SchemaError(
+                        f"quantitative attribute {self.name!r} needs a "
+                        f"(low, high) domain, got {self.domain!r}"
+                    )
+                low, high = self.domain
+                if not (float(low) < float(high)):
+                    raise SchemaError(
+                        f"attribute {self.name!r} has empty domain "
+                        f"[{low}, {high}]"
+                    )
+            elif len(self.domain) == 0:
+                raise SchemaError(
+                    f"categorical attribute {self.name!r} has an empty domain"
+                )
+
+    @property
+    def is_quantitative(self) -> bool:
+        return self.kind == QUANTITATIVE
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == CATEGORICAL
+
+    def quantitative_range(self) -> tuple[float, float] | None:
+        """Return the declared ``(low, high)`` range, or ``None``."""
+        if self.is_quantitative and self.domain is not None:
+            low, high = self.domain
+            return float(low), float(high)
+        return None
+
+
+def quantitative(name: str, low: float | None = None,
+                 high: float | None = None) -> AttributeSpec:
+    """Convenience constructor for a quantitative :class:`AttributeSpec`."""
+    domain = None if low is None or high is None else (low, high)
+    return AttributeSpec(name, QUANTITATIVE, domain)
+
+
+def categorical(name: str, values: Sequence | None = None) -> AttributeSpec:
+    """Convenience constructor for a categorical :class:`AttributeSpec`."""
+    domain = None if values is None else tuple(values)
+    return AttributeSpec(name, CATEGORICAL, domain)
+
+
+def _as_column(spec: AttributeSpec, values: Sequence) -> np.ndarray:
+    """Coerce raw values into the canonical array dtype for ``spec``."""
+    if spec.is_quantitative:
+        column = np.asarray(values, dtype=np.float64)
+    else:
+        column = np.empty(len(values), dtype=object)
+        column[:] = list(values)
+    return column
+
+
+@dataclass
+class Table:
+    """A column-major table with a declared schema.
+
+    Construct with :meth:`from_columns` or :meth:`from_rows`; the bare
+    constructor assumes already-coerced arrays of equal length.
+
+    Attributes
+    ----------
+    schema:
+        Ordered mapping of attribute name to :class:`AttributeSpec`.
+    columns:
+        Mapping of attribute name to a NumPy array of values.
+    """
+
+    schema: dict[str, AttributeSpec]
+    columns: dict[str, np.ndarray]
+    _n_rows: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if set(self.schema) != set(self.columns):
+            missing = set(self.schema) ^ set(self.columns)
+            raise SchemaError(f"schema/columns mismatch on {sorted(missing)}")
+        lengths = {name: len(col) for name, col in self.columns.items()}
+        unique_lengths = set(lengths.values())
+        if len(unique_lengths) > 1:
+            raise SchemaError(f"ragged columns: {lengths}")
+        self._n_rows = unique_lengths.pop() if unique_lengths else 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(cls, specs: Sequence[AttributeSpec],
+                     columns: Mapping[str, Sequence]) -> "Table":
+        """Build a table from attribute specs and per-column value sequences.
+
+        Values are coerced to the canonical dtype for each attribute kind
+        (``float64`` for quantitative, ``object`` for categorical).
+        """
+        schema = {spec.name: spec for spec in specs}
+        if len(schema) != len(specs):
+            names = [spec.name for spec in specs]
+            raise SchemaError(f"duplicate attribute names in {names}")
+        coerced = {}
+        for name, spec in schema.items():
+            if name not in columns:
+                raise SchemaError(f"missing column {name!r}")
+            coerced[name] = _as_column(spec, columns[name])
+        return cls(schema=schema, columns=coerced)
+
+    @classmethod
+    def from_rows(cls, specs: Sequence[AttributeSpec],
+                  rows: Iterable[Mapping]) -> "Table":
+        """Build a table from an iterable of per-row mappings."""
+        names = [spec.name for spec in specs]
+        buffers: dict[str, list] = {name: [] for name in names}
+        for row in rows:
+            for name in names:
+                buffers[name].append(row[name])
+        return cls.from_columns(specs, buffers)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return list(self.schema)
+
+    def spec(self, name: str) -> AttributeSpec:
+        """Return the :class:`AttributeSpec` for ``name``."""
+        try:
+            return self.schema[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; table has "
+                f"{self.attribute_names}"
+            ) from None
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the backing array for ``name`` (do not mutate it)."""
+        self.spec(name)
+        return self.columns[name]
+
+    def observed_range(self, name: str) -> tuple[float, float]:
+        """Return the (declared or observed) value range of a quantitative
+        attribute.
+
+        Prefers the declared domain so that bin layouts are stable across
+        data sets drawn from the same schema; falls back to the observed
+        min/max of the column.
+        """
+        spec = self.spec(name)
+        if not spec.is_quantitative:
+            raise SchemaError(f"attribute {name!r} is not quantitative")
+        declared = spec.quantitative_range()
+        if declared is not None:
+            return declared
+        column = self.column(name)
+        if len(column) == 0:
+            raise SchemaError(f"cannot infer range of empty column {name!r}")
+        return float(column.min()), float(column.max())
+
+    def categorical_values(self, name: str) -> tuple:
+        """Return the ordered distinct values of a categorical attribute.
+
+        Uses the declared domain when present, otherwise the sorted
+        distinct observed values.
+        """
+        spec = self.spec(name)
+        if not spec.is_categorical:
+            raise SchemaError(f"attribute {name!r} is not categorical")
+        if spec.domain is not None:
+            return spec.domain
+        observed = set(self.column(name).tolist())
+        return tuple(sorted(observed, key=repr))
+
+    # ------------------------------------------------------------------
+    # Row operations (each returns a new Table)
+    # ------------------------------------------------------------------
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Table":
+        """Return a new table with the rows at ``indices`` (with repeats)."""
+        index_array = np.asarray(indices, dtype=np.intp)
+        columns = {name: col[index_array] for name, col in self.columns.items()}
+        return Table(schema=dict(self.schema), columns=columns)
+
+    def where(self, mask: np.ndarray) -> "Table":
+        """Return a new table with the rows where boolean ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._n_rows,):
+            raise SchemaError(
+                f"mask shape {mask.shape} does not match {self._n_rows} rows"
+            )
+        columns = {name: col[mask] for name, col in self.columns.items()}
+        return Table(schema=dict(self.schema), columns=columns)
+
+    def head(self, n: int) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def sample(self, k: int, rng: np.random.Generator) -> "Table":
+        """Return ``k`` rows sampled uniformly without replacement."""
+        if k > self._n_rows:
+            raise SchemaError(
+                f"cannot sample {k} rows from a table of {self._n_rows}"
+            )
+        return self.take(rng.choice(self._n_rows, size=k, replace=False))
+
+    def with_column(self, spec: AttributeSpec, values: Sequence) -> "Table":
+        """Return a new table with column ``spec.name`` added or replaced."""
+        column = _as_column(spec, values)
+        if len(column) != self._n_rows:
+            raise SchemaError(
+                f"new column {spec.name!r} has {len(column)} values for a "
+                f"table of {self._n_rows} rows"
+            )
+        schema = dict(self.schema)
+        schema[spec.name] = spec
+        columns = dict(self.columns)
+        columns[spec.name] = column
+        return Table(schema=schema, columns=columns)
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Return a new table with only the named columns, in that order."""
+        schema = {name: self.spec(name) for name in names}
+        columns = {name: self.columns[name] for name in names}
+        return Table(schema=schema, columns=columns)
+
+    def concat(self, other: "Table") -> "Table":
+        """Return the row-wise concatenation of two same-schema tables."""
+        if list(self.schema) != list(other.schema):
+            raise SchemaError("cannot concat tables with different schemas")
+        columns = {
+            name: np.concatenate([self.columns[name], other.columns[name]])
+            for name in self.schema
+        }
+        return Table(schema=dict(self.schema), columns=columns)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def iter_chunks(self, chunk_rows: int) -> Iterator["Table"]:
+        """Yield consecutive row slices of at most ``chunk_rows`` rows.
+
+        The ARCS binner consumes chunks so that the full table never needs
+        to be materialised by downstream code paths; this iterator is the
+        in-memory analogue of the paper's streaming input.
+        """
+        if chunk_rows <= 0:
+            raise SchemaError("chunk_rows must be positive")
+        for start in range(0, self._n_rows, chunk_rows):
+            stop = min(start + chunk_rows, self._n_rows)
+            columns = {
+                name: col[start:stop] for name, col in self.columns.items()
+            }
+            yield Table(schema=dict(self.schema), columns=columns)
+
+    def iter_rows(self) -> Iterator[dict]:
+        """Yield rows as dicts (slow; for tests and small tables only)."""
+        names = self.attribute_names
+        arrays = [self.columns[name] for name in names]
+        for i in range(self._n_rows):
+            yield {name: array[i] for name, array in zip(names, arrays)}

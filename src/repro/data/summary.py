@@ -1,0 +1,117 @@
+"""Dataset profiling: the quick look before choosing LHS attributes.
+
+The ARCS workflow starts with a human choosing two LHS attributes and a
+criterion (paper Section 1), which presumes a summary of what the table
+holds.  :func:`profile_table` computes per-attribute statistics —
+range, mean, quartiles and a coarse text histogram for quantitative
+columns; cardinality and top values for categorical ones — and
+:func:`format_profile` renders them for the terminal (the CLI's
+``arcs describe`` command).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import Table
+
+#: Characters for the eight-level text histogram bars.
+_BARS = " .:-=+*#"
+
+
+@dataclass(frozen=True)
+class QuantitativeProfile:
+    """Summary statistics of one quantitative column."""
+
+    name: str
+    minimum: float
+    maximum: float
+    mean: float
+    quartiles: tuple[float, float, float]
+    histogram: str
+
+
+@dataclass(frozen=True)
+class CategoricalProfile:
+    """Summary statistics of one categorical column."""
+
+    name: str
+    cardinality: int
+    top_values: tuple[tuple[object, int], ...]
+
+
+def _text_histogram(values: np.ndarray, bins: int = 24) -> str:
+    counts, _ = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.size else 0
+    if peak == 0:
+        return " " * bins
+    levels = np.ceil(counts / peak * (len(_BARS) - 1)).astype(int)
+    return "".join(_BARS[level] for level in levels)
+
+
+def profile_table(table: Table,
+                  top_k: int = 5) -> list:
+    """Profile every column; returns a list of per-attribute profiles
+    in schema order."""
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+    profiles = []
+    for name, spec in table.schema.items():
+        column = table.column(name)
+        if spec.is_quantitative:
+            values = column.astype(np.float64)
+            if len(values) == 0:
+                raise ValueError(f"cannot profile empty column {name!r}")
+            q1, q2, q3 = np.quantile(values, [0.25, 0.5, 0.75])
+            profiles.append(
+                QuantitativeProfile(
+                    name=name,
+                    minimum=float(values.min()),
+                    maximum=float(values.max()),
+                    mean=float(values.mean()),
+                    quartiles=(float(q1), float(q2), float(q3)),
+                    histogram=_text_histogram(values),
+                )
+            )
+        else:
+            values, counts = np.unique(
+                column.astype(str), return_counts=True
+            )
+            order = np.argsort(-counts)
+            top = tuple(
+                (values[i], int(counts[i])) for i in order[:top_k]
+            )
+            profiles.append(
+                CategoricalProfile(
+                    name=name,
+                    cardinality=len(values),
+                    top_values=top,
+                )
+            )
+    return profiles
+
+
+def format_profile(profiles: list, n_rows: int) -> str:
+    """Render profiles as an aligned terminal report."""
+    lines = [f"{n_rows:,} rows, {len(profiles)} attributes", ""]
+    for profile in profiles:
+        if isinstance(profile, QuantitativeProfile):
+            q1, q2, q3 = profile.quartiles
+            lines.append(
+                f"{profile.name:>12}  [{profile.minimum:g}, "
+                f"{profile.maximum:g}]  mean={profile.mean:g}  "
+                f"quartiles={q1:g}/{q2:g}/{q3:g}"
+            )
+            lines.append(f"{'':>12}  |{profile.histogram}|")
+        else:
+            rendered = ", ".join(
+                f"{value} ({count})"
+                for value, count in profile.top_values
+            )
+            lines.append(
+                f"{profile.name:>12}  {profile.cardinality} distinct: "
+                f"{rendered}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Extensions: the paper's Section 5 future-work features, implemented.
+
+* :mod:`repro.extensions.multidim` — clusters over more than two
+  attributes, built by iteratively combining overlapping two-attribute
+  clustered rules.
+* :mod:`repro.extensions.categorical_lhs` — a categorical LHS attribute,
+  handled by ordering its values by target density ("we consider only
+  those subsets of the categorical attribute that yield the densest
+  clusters").
+* :mod:`repro.extensions.annealing` — simulated annealing as the
+  alternative threshold optimizer the paper suggests.
+* :mod:`repro.extensions.factorial` — two-level factorial design (Fisher /
+  Box-Hunter-Hunter) to cut the number of optimizer runs.
+"""
+
+from repro.extensions.annealing import AnnealingConfig, AnnealingOptimizer
+from repro.extensions.categorical_lhs import (
+    CategoricalPairRule,
+    CategoricalRule,
+    fit_categorical_lhs,
+    fit_categorical_pair,
+)
+from repro.extensions.factorial import FactorialReport, factorial_search
+from repro.extensions.multidim import (
+    MultiDimRule,
+    combine_segmentations,
+    fit_multidim,
+)
+
+__all__ = [
+    "MultiDimRule",
+    "combine_segmentations",
+    "fit_multidim",
+    "CategoricalRule",
+    "CategoricalPairRule",
+    "fit_categorical_lhs",
+    "fit_categorical_pair",
+    "AnnealingOptimizer",
+    "AnnealingConfig",
+    "factorial_search",
+    "FactorialReport",
+]

@@ -1,0 +1,239 @@
+"""Clusters over more than two attributes (paper Section 5).
+
+"One way in which we can extend our proposed system is by iteratively
+combining overlapping sets of two-attribute clustered association rules to
+produce clusters that have an arbitrary number of attributes."
+
+The combination rule implemented here: given a segmentation over
+attributes ``(A, B)`` and one over ``(B, C)`` (same RHS criterion), every
+pair of rules whose ``B`` intervals overlap proposes the box
+
+``A in I_A  AND  B in (I_B ∩ I_B')  AND  C in I_C  =>  criterion``
+
+Candidate boxes are then re-scored against the source data and kept only
+when they clear the support and confidence thresholds — the overlap of two
+2-D projections is necessary but not sufficient for a dense 3-D region,
+so verification against tuples is what makes the combination sound.
+Applying :func:`combine_segmentations` repeatedly grows the attribute set
+one attribute at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rules import Interval
+from repro.core.segmentation import Segmentation
+from repro.data.schema import Table
+
+
+@dataclass(frozen=True)
+class MultiDimRule:
+    """A clustered rule over an arbitrary set of quantitative attributes.
+
+    ``intervals`` maps attribute name to its :class:`Interval`; the rule
+    reads ``AND_k (attr_k in I_k) => rhs_attribute = rhs_value``.
+    """
+
+    intervals: dict[str, Interval]
+    rhs_attribute: str
+    rhs_value: object
+    support: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.intervals:
+            raise ValueError("a multi-dimensional rule needs intervals")
+        object.__setattr__(self, "intervals", dict(self.intervals))
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(sorted(self.intervals))
+
+    def matches(self, table: Table) -> np.ndarray:
+        """Vectorised membership over a table with all the attributes."""
+        result = np.ones(len(table), dtype=bool)
+        for attribute, interval in self.intervals.items():
+            result &= interval.contains(table.column(attribute))
+        return result
+
+    def __str__(self) -> str:
+        lhs = " AND ".join(
+            self.intervals[name].describe(name) for name in self.attributes
+        )
+        return (
+            f"{lhs} => {self.rhs_attribute} = {self.rhs_value} "
+            f"(support={self.support:.4f}, confidence={self.confidence:.3f})"
+        )
+
+
+def _as_multidim(segmentation: Segmentation) -> list[MultiDimRule]:
+    """Lift a 2-D segmentation's rules to the multi-dimensional form."""
+    lifted = []
+    for rule in segmentation.rules:
+        lifted.append(
+            MultiDimRule(
+                intervals={
+                    rule.x_attribute: rule.x_interval,
+                    rule.y_attribute: rule.y_interval,
+                },
+                rhs_attribute=rule.rhs_attribute,
+                rhs_value=rule.rhs_value,
+                support=rule.support,
+                confidence=rule.confidence,
+            )
+        )
+    return lifted
+
+
+def _score(intervals: dict[str, Interval], table: Table,
+           rhs_attribute: str, rhs_value) -> tuple[float, float]:
+    """Exact support and confidence of a box on the source data."""
+    inside = np.ones(len(table), dtype=bool)
+    for attribute, interval in intervals.items():
+        inside &= interval.contains(table.column(attribute))
+    total_inside = int(inside.sum())
+    if total_inside == 0:
+        return 0.0, 0.0
+    labels = table.column(rhs_attribute)
+    hits = int(np.sum(inside & np.asarray(labels == rhs_value)))
+    return hits / len(table), hits / total_inside
+
+
+def combine_segmentations(first, second, table: Table,
+                          min_support: float,
+                          min_confidence: float) -> list[MultiDimRule]:
+    """Combine two rule sets sharing at least one attribute into boxes of
+    the united attribute set.
+
+    Parameters
+    ----------
+    first, second:
+        Each a :class:`Segmentation` or a list of :class:`MultiDimRule`
+        (so the combination can be chained).  Both must target the same
+        RHS attribute and value.
+    table:
+        Source data used to verify candidate boxes.
+    min_support, min_confidence:
+        Thresholds a combined box must clear to survive.
+    """
+    rules_a = (
+        _as_multidim(first) if isinstance(first, Segmentation) else
+        list(first)
+    )
+    rules_b = (
+        _as_multidim(second) if isinstance(second, Segmentation) else
+        list(second)
+    )
+    if not rules_a or not rules_b:
+        return []
+    rhs_attribute = rules_a[0].rhs_attribute
+    rhs_value = rules_a[0].rhs_value
+    for rule in rules_a + rules_b:
+        if (rule.rhs_attribute, rule.rhs_value) != (rhs_attribute,
+                                                    rhs_value):
+            raise ValueError(
+                "cannot combine segmentations with different criteria"
+            )
+
+    shared = set(rules_a[0].intervals) & set(rules_b[0].intervals)
+    if not shared:
+        raise ValueError(
+            "the rule sets share no attribute; combination needs overlap"
+        )
+
+    combined: list[MultiDimRule] = []
+    seen: set[tuple] = set()
+    for rule_a in rules_a:
+        for rule_b in rules_b:
+            intervals = _merge_intervals(rule_a, rule_b, shared)
+            if intervals is None:
+                continue
+            key = tuple(
+                (name, intervals[name].low, intervals[name].high)
+                for name in sorted(intervals)
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            support, confidence = _score(
+                intervals, table, rhs_attribute, rhs_value
+            )
+            if support >= min_support and confidence >= min_confidence:
+                combined.append(
+                    MultiDimRule(
+                        intervals=intervals,
+                        rhs_attribute=rhs_attribute,
+                        rhs_value=rhs_value,
+                        support=support,
+                        confidence=confidence,
+                    )
+                )
+    combined.sort(key=lambda rule: -rule.support)
+    return combined
+
+
+def fit_multidim(table: Table, attributes: Sequence[str],
+                 rhs_attribute: str, target_value,
+                 min_support: float = 0.01,
+                 min_confidence: float = 0.7,
+                 arcs_config=None) -> list[MultiDimRule]:
+    """End-to-end driver: ARCS over adjacent attribute pairs, chained.
+
+    Fits one 2-D segmentation per consecutive attribute pair (each pair
+    shares an attribute with the next, the overlap the combination step
+    needs), then folds them left-to-right through
+    :func:`combine_segmentations`, verifying every intermediate box on
+    the data.  Returns boxes over all the attributes.
+
+    ``attributes`` must name at least two quantitative columns; with
+    exactly two this degrades gracefully to a plain ARCS fit lifted to
+    the multi-dimensional rule form.
+    """
+    from repro.core.arcs import ARCS, ARCSConfig
+
+    attributes = list(attributes)
+    if len(attributes) < 2:
+        raise ValueError("fit_multidim needs at least two attributes")
+    arcs = ARCS(arcs_config or ARCSConfig())
+
+    segmentations = []
+    for x_attribute, y_attribute in zip(attributes, attributes[1:]):
+        result = arcs.fit(
+            table, x_attribute, y_attribute, rhs_attribute, target_value
+        )
+        segmentations.append(result.segmentation)
+
+    current: list[MultiDimRule] | Segmentation = segmentations[0]
+    if len(segmentations) == 1:
+        return _as_multidim(segmentations[0])
+    for next_segmentation in segmentations[1:]:
+        current = combine_segmentations(
+            current, next_segmentation, table,
+            min_support=min_support, min_confidence=min_confidence,
+        )
+        if not current:
+            return []
+    return current
+
+
+def _merge_intervals(rule_a: MultiDimRule, rule_b: MultiDimRule,
+                     shared: set[str]) -> dict[str, Interval] | None:
+    """Intersect on shared attributes, union the rest; ``None`` when any
+    shared interval pair is disjoint."""
+    intervals: dict[str, Interval] = {}
+    for name in shared:
+        intersection = rule_a.intervals[name].intersect(
+            rule_b.intervals[name]
+        )
+        if intersection is None:
+            return None
+        intervals[name] = intersection
+    for rule in (rule_a, rule_b):
+        for name, interval in rule.intervals.items():
+            if name not in shared:
+                intervals[name] = interval
+    return intervals

@@ -1,0 +1,73 @@
+"""The specialised single-pass rule engine (paper Section 3.2, Figure 3).
+
+Every BinArray cell *is* a candidate association rule
+
+``X = i AND Y = j => C = G_k``
+
+with ``support = |(i, j, G_k)| / N`` and
+``confidence = |(i, j, G_k)| / |(i, j)|``.  Mining is therefore a single
+scan over the occupied cells checking both thresholds — no candidate
+generation, no extra data passes, and because the BinArray stays resident,
+"changing thresholds is nearly instantaneous".
+
+The scan is vectorised here: both threshold tests are array comparisons
+and the qualifying cells come out of one ``argwhere``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.bin_array import BinArray
+from repro.core.rules import BinnedRule
+
+
+def rule_pairs(bin_array: BinArray, rhs_code: int, min_support: float,
+               min_confidence: float) -> list[tuple[int, int]]:
+    """The qualifying ``(i, j)`` bin pairs (the output of paper Figure 3).
+
+    ``min_support`` is a fraction of the total tuple count; the engine
+    converts it to the paper's ``min_support_count = N * min_support`` and
+    compares counts, so ties behave exactly as the pseudocode's
+    ``>= min_support_count`` test.
+    """
+    _check_thresholds(min_support, min_confidence)
+    counts = bin_array.count_grid(rhs_code)
+    min_count = bin_array.n_total * min_support
+    with np.errstate(invalid="ignore", divide="ignore"):
+        confidence = np.where(
+            bin_array.totals > 0,
+            counts / bin_array.totals.astype(np.float64),
+            0.0,
+        )
+    qualifying = (counts >= min_count) & (counts > 0) & (
+        confidence >= min_confidence
+    )
+    return [(int(i), int(j)) for i, j in np.argwhere(qualifying)]
+
+
+def mine_binned_rules(bin_array: BinArray, rhs_code: int,
+                      min_support: float,
+                      min_confidence: float) -> list[BinnedRule]:
+    """Mine full :class:`BinnedRule` objects (pairs plus their measures)."""
+    _check_thresholds(min_support, min_confidence)
+    rhs_value = bin_array.rhs_encoding.values[rhs_code]
+    rules = []
+    for i, j in rule_pairs(bin_array, rhs_code, min_support, min_confidence):
+        rules.append(
+            BinnedRule(
+                x_bin=i,
+                y_bin=j,
+                rhs_value=rhs_value,
+                support=bin_array.cell_support(i, j, rhs_code),
+                confidence=bin_array.cell_confidence(i, j, rhs_code),
+            )
+        )
+    return rules
+
+
+def _check_thresholds(min_support: float, min_confidence: float) -> None:
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError(f"min_support {min_support} outside [0, 1]")
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError(f"min_confidence {min_confidence} outside [0, 1]")

@@ -1,0 +1,194 @@
+"""Saving and loading ARCS artefacts.
+
+Two artefacts are worth persisting:
+
+* a **segmentation** — the end product handed to users; serialised as
+  JSON so it is diffable, versionable and consumable outside Python;
+* a **BinArray** — the paper's re-mining asset: persisting it lets a
+  later session change thresholds or criterion values without re-reading
+  the source data (the counts, layouts and encoding round-trip through a
+  compressed ``.npz``).
+
+Formats are versioned; loaders reject unknown versions loudly rather
+than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.binning.bin_array import BinArray
+from repro.binning.categorical import CategoricalEncoding
+from repro.binning.strategies import BinLayout
+from repro.core.rules import ClusteredRule, GridRect, Interval
+from repro.core.segmentation import Segmentation
+
+SEGMENTATION_FORMAT = "arcs-segmentation/1"
+BINARRAY_FORMAT = "arcs-binarray/1"
+
+
+class PersistenceError(ValueError):
+    """Raised when a file is not a valid persisted artefact."""
+
+
+# ----------------------------------------------------------------------
+# Segmentations (JSON)
+# ----------------------------------------------------------------------
+def _interval_to_dict(interval: Interval) -> dict:
+    return {
+        "low": interval.low,
+        "high": interval.high,
+        "closed_high": interval.closed_high,
+    }
+
+
+def _interval_from_dict(data: dict) -> Interval:
+    return Interval(
+        float(data["low"]), float(data["high"]),
+        closed_high=bool(data["closed_high"]),
+    )
+
+
+def _rule_to_dict(rule: ClusteredRule) -> dict:
+    payload = {
+        "x_attribute": rule.x_attribute,
+        "y_attribute": rule.y_attribute,
+        "x_interval": _interval_to_dict(rule.x_interval),
+        "y_interval": _interval_to_dict(rule.y_interval),
+        "rhs_attribute": rule.rhs_attribute,
+        "rhs_value": rule.rhs_value,
+        "support": rule.support,
+        "confidence": rule.confidence,
+    }
+    if rule.rect is not None:
+        payload["rect"] = [
+            rule.rect.x_lo, rule.rect.x_hi,
+            rule.rect.y_lo, rule.rect.y_hi,
+        ]
+    return payload
+
+
+def _rule_from_dict(data: dict) -> ClusteredRule:
+    rect = None
+    if "rect" in data:
+        x_lo, x_hi, y_lo, y_hi = data["rect"]
+        rect = GridRect(int(x_lo), int(x_hi), int(y_lo), int(y_hi))
+    return ClusteredRule(
+        x_attribute=data["x_attribute"],
+        y_attribute=data["y_attribute"],
+        x_interval=_interval_from_dict(data["x_interval"]),
+        y_interval=_interval_from_dict(data["y_interval"]),
+        rhs_attribute=data["rhs_attribute"],
+        rhs_value=data["rhs_value"],
+        support=float(data["support"]),
+        confidence=float(data["confidence"]),
+        rect=rect,
+    )
+
+
+def save_segmentation(segmentation: Segmentation,
+                      path: str | Path) -> None:
+    """Write a segmentation to ``path`` as versioned JSON."""
+    payload = {
+        "format": SEGMENTATION_FORMAT,
+        "x_attribute": segmentation.x_attribute,
+        "y_attribute": segmentation.y_attribute,
+        "rhs_attribute": segmentation.rhs_attribute,
+        "rhs_value": segmentation.rhs_value,
+        "rules": [_rule_to_dict(rule) for rule in segmentation.rules],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_segmentation(path: str | Path) -> Segmentation:
+    """Read a segmentation previously written by
+    :func:`save_segmentation`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != SEGMENTATION_FORMAT:
+        raise PersistenceError(
+            f"{path} is not a {SEGMENTATION_FORMAT} file "
+            f"(format={payload.get('format')!r})"
+        )
+    return Segmentation(
+        rules=tuple(
+            _rule_from_dict(rule) for rule in payload["rules"]
+        ),
+        x_attribute=payload["x_attribute"],
+        y_attribute=payload["y_attribute"],
+        rhs_attribute=payload["rhs_attribute"],
+        rhs_value=payload["rhs_value"],
+    )
+
+
+# ----------------------------------------------------------------------
+# BinArrays (npz)
+# ----------------------------------------------------------------------
+def save_bin_array(bin_array: BinArray, path: str | Path) -> None:
+    """Write a BinArray (counts + layouts + encoding) to an ``.npz``.
+
+    RHS values are stored as JSON so arbitrary hashable-but-serialisable
+    values (strings, ints) survive; exotic value types should be encoded
+    by the caller first.
+    """
+    metadata = {
+        "format": BINARRAY_FORMAT,
+        "x_attribute": bin_array.x_layout.attribute,
+        "y_attribute": bin_array.y_layout.attribute,
+        "rhs_attribute": bin_array.rhs_encoding.attribute,
+        "rhs_values": list(bin_array.rhs_encoding.values),
+        "target_code": bin_array.target_code,
+        "n_total": bin_array.n_total,
+    }
+    np.savez_compressed(
+        path,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode(), dtype=np.uint8
+        ),
+        x_edges=bin_array.x_layout.edges,
+        y_edges=bin_array.y_layout.edges,
+        counts=bin_array.counts,
+        totals=bin_array.totals,
+    )
+
+
+def load_bin_array(path: str | Path) -> BinArray:
+    """Read a BinArray previously written by :func:`save_bin_array`."""
+    with np.load(path) as archive:
+        try:
+            metadata = json.loads(bytes(archive["metadata"]).decode())
+        except (KeyError, ValueError) as error:
+            raise PersistenceError(
+                f"{path} is not a persisted BinArray: {error}"
+            ) from None
+        if metadata.get("format") != BINARRAY_FORMAT:
+            raise PersistenceError(
+                f"{path} has format {metadata.get('format')!r}, "
+                f"expected {BINARRAY_FORMAT}"
+            )
+        bin_array = BinArray(
+            x_layout=BinLayout(metadata["x_attribute"],
+                               archive["x_edges"]),
+            y_layout=BinLayout(metadata["y_attribute"],
+                               archive["y_edges"]),
+            rhs_encoding=CategoricalEncoding(
+                metadata["rhs_attribute"],
+                tuple(metadata["rhs_values"]),
+            ),
+            target_code=metadata["target_code"],
+        )
+        counts = archive["counts"]
+        totals = archive["totals"]
+        if counts.shape != bin_array.counts.shape:
+            raise PersistenceError(
+                f"count cube shape {counts.shape} does not match the "
+                f"stored layouts {bin_array.counts.shape}"
+            )
+        bin_array.counts = counts.astype(np.int64)
+        bin_array.totals = totals.astype(np.int64)
+        bin_array.n_total = int(metadata["n_total"])
+    return bin_array

@@ -1,0 +1,22 @@
+"""Presentation layer: ASCII grids and experiment reports.
+
+The paper's figures are grids of rule cells with cluster outlines
+(Figures 1, 4, 5, 7).  :mod:`repro.viz.ascii` renders those as monospace
+text, and :mod:`repro.viz.report` formats benchmark sweeps as the aligned
+tables the benchmark harness prints.
+"""
+
+from repro.viz.ascii import render_grid, render_side_by_side
+from repro.viz.report import (
+    format_series_table,
+    format_table,
+    format_trial_history,
+)
+
+__all__ = [
+    "render_grid",
+    "render_side_by_side",
+    "format_table",
+    "format_series_table",
+    "format_trial_history",
+]

@@ -1,0 +1,57 @@
+"""ASCII rendering of rule grids and clusters (paper Figures 1/4/5/7).
+
+Orientation follows the paper's figures: the y attribute (salary) grows
+upward, the x attribute (age) grows rightward.  Set cells print as ``#``,
+clear cells as ``.``, and cells inside a cluster rectangle are marked
+``o`` (or ``@`` when the cell is also set) so cluster outlines are visible
+against the rule mass.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.grid import RuleGrid
+from repro.core.rules import GridRect
+
+SET, CLEAR = "#", "."
+IN_CLUSTER_SET, IN_CLUSTER_CLEAR = "@", "o"
+
+
+def render_grid(grid: RuleGrid, clusters: Sequence[GridRect] = (),
+                x_label: str = "x", y_label: str = "y") -> str:
+    """Render a grid (and optional cluster rectangles) as ASCII art."""
+    lines = [f"{y_label} ^"]
+    for j in range(grid.n_y - 1, -1, -1):
+        row_chars = []
+        for i in range(grid.n_x):
+            inside = any(rect.contains_cell(i, j) for rect in clusters)
+            if grid.cells[i, j]:
+                row_chars.append(IN_CLUSTER_SET if inside else SET)
+            else:
+                row_chars.append(IN_CLUSTER_CLEAR if inside else CLEAR)
+        lines.append("  | " + "".join(row_chars))
+    lines.append("  +-" + "-" * grid.n_x + f"> {x_label}")
+    return "\n".join(lines)
+
+
+def render_side_by_side(left: RuleGrid, right: RuleGrid,
+                        left_title: str = "before",
+                        right_title: str = "after",
+                        gap: int = 4) -> str:
+    """Two grids next to each other (the Figure 7 before/after layout)."""
+    if left.n_y != right.n_y:
+        raise ValueError("grids must have the same height to pair")
+    spacer = " " * gap
+    lines = [
+        f"{left_title:<{left.n_x}}{spacer}{right_title}",
+    ]
+    for j in range(left.n_y - 1, -1, -1):
+        left_row = "".join(
+            SET if left.cells[i, j] else CLEAR for i in range(left.n_x)
+        )
+        right_row = "".join(
+            SET if right.cells[i, j] else CLEAR for i in range(right.n_x)
+        )
+        lines.append(f"{left_row}{spacer}{right_row}")
+    return "\n".join(lines)

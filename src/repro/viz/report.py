@@ -1,0 +1,66 @@
+"""Plain-text tables for the benchmark harness.
+
+Every benchmark prints the rows/series the paper's corresponding table or
+figure reports; these helpers keep that output aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence]) -> str:
+    """An aligned monospace table with a header rule."""
+    rendered = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered))
+        if rendered else len(header)
+        for i, header in enumerate(headers)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    parts = [line(list(headers)), line(["-" * width for width in widths])]
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_series_table(x_name: str, x_values: Sequence,
+                        series: dict[str, Sequence]) -> str:
+    """A figure-style table: one x column plus one column per series."""
+    headers = [x_name, *series]
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_trial_history(trials: Sequence) -> str:
+    """The optimizer's search transcript as an aligned table.
+
+    Accepts any sequence of :class:`~repro.core.optimizer.TrialRecord`;
+    a fitted :class:`~repro.core.arcs.ARCSResult` exposes one as
+    ``result.history``.
+    """
+    headers = ["min support", "min confidence", "clusters",
+               "error rate", "MDL cost"]
+    rows = [
+        [f"{trial.min_support:.6f}", f"{trial.min_confidence:.4f}",
+         trial.n_clusters, trial.report.error_rate,
+         "inf" if trial.mdl_cost == float("inf")
+         else f"{trial.mdl_cost:.3f}"]
+        for trial in trials
+    ]
+    return format_table(headers, rows)

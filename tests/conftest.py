@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (generated data sets, fitted binners) are session
+scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.binning import bin_table
+from repro.data.schema import Table, categorical, quantitative
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def fresh_rng() -> np.random.Generator:
+    """A per-test generator for tests that consume randomness."""
+    return np.random.default_rng(999)
+
+
+@pytest.fixture(scope="session")
+def tiny_table() -> Table:
+    """Six rows, two quantitative attributes, two groups."""
+    specs = [
+        quantitative("age", 20, 80),
+        quantitative("salary", 20_000, 150_000),
+        categorical("group", ("A", "other")),
+    ]
+    return Table.from_columns(specs, {
+        "age": [25, 30, 35, 55, 65, 75],
+        "salary": [60_000, 70_000, 80_000, 90_000, 40_000, 50_000],
+        "group": ["A", "A", "other", "A", "other", "A"],
+    })
+
+
+@pytest.fixture(scope="session")
+def f2_table() -> Table:
+    """Function 2 data: 20k tuples, 5% perturbation, no outliers."""
+    config = repro.SyntheticConfig(
+        n_tuples=20_000, function_id=2, perturbation=0.05, seed=42
+    )
+    return repro.generate_synthetic(config)
+
+
+@pytest.fixture(scope="session")
+def f2_clean_table() -> Table:
+    """Function 2 data with no perturbation or outliers (10k tuples)."""
+    config = repro.SyntheticConfig(
+        n_tuples=10_000, function_id=2, perturbation=0.0, seed=7
+    )
+    return repro.generate_synthetic(config)
+
+
+@pytest.fixture(scope="session")
+def f2_outlier_table() -> Table:
+    """Function 2 data with 10% outliers (20k tuples)."""
+    config = repro.SyntheticConfig(
+        n_tuples=20_000, function_id=2, perturbation=0.05,
+        outlier_fraction=0.10, seed=11,
+    )
+    return repro.generate_synthetic(config)
+
+
+@pytest.fixture(scope="session")
+def f2_binner(f2_clean_table):
+    """A fitted 30x30 binner over the clean Function 2 data."""
+    return bin_table(
+        f2_clean_table, "age", "salary", "group",
+        n_bins_x=30, n_bins_y=30,
+    )

@@ -1,0 +1,107 @@
+"""Unit tests for the exact region-overlap error analysis (Figure 9)."""
+
+import pytest
+
+from repro.analysis.accuracy import _Box, exact_region_error, union_area
+from repro.core.rules import ClusteredRule, Interval
+from repro.core.segmentation import Segmentation
+from repro.data.functions import Region, true_regions
+
+
+def rule_over(x_lo, x_hi, y_lo, y_hi):
+    return ClusteredRule(
+        "age", "salary", Interval(x_lo, x_hi), Interval(y_lo, y_hi),
+        "group", "A", support=0.1, confidence=0.9,
+    )
+
+
+X_RANGE = (20.0, 80.0)
+Y_RANGE = (20_000.0, 150_000.0)
+SPACE = (X_RANGE[1] - X_RANGE[0]) * (Y_RANGE[1] - Y_RANGE[0])
+
+
+class TestUnionArea:
+    def test_single_box(self):
+        assert union_area([_Box(0, 2, 0, 3)]) == 6.0
+
+    def test_disjoint_boxes_add(self):
+        boxes = [_Box(0, 1, 0, 1), _Box(5, 7, 5, 6)]
+        assert union_area(boxes) == 1.0 + 2.0
+
+    def test_overlap_not_double_counted(self):
+        boxes = [_Box(0, 2, 0, 2), _Box(1, 3, 0, 2)]
+        assert union_area(boxes) == pytest.approx(6.0)
+
+    def test_contained_box_ignored(self):
+        boxes = [_Box(0, 4, 0, 4), _Box(1, 2, 1, 2)]
+        assert union_area(boxes) == pytest.approx(16.0)
+
+    def test_empty(self):
+        assert union_area([]) == 0.0
+        assert union_area([_Box(1, 1, 0, 2)]) == 0.0
+
+
+class TestExactRegionError:
+    def test_perfect_match(self):
+        truth = [Region("age", 20, 40, "salary", 50_000, 100_000)]
+        seg = Segmentation.from_rules([rule_over(20, 40, 50_000, 100_000)])
+        report = exact_region_error(seg, truth, X_RANGE, Y_RANGE)
+        assert report.false_positive_area == pytest.approx(0.0)
+        assert report.false_negative_area == pytest.approx(0.0)
+        assert report.jaccard == pytest.approx(1.0)
+
+    def test_pure_false_positive(self):
+        truth = [Region("age", 20, 40, "salary", 50_000, 100_000)]
+        seg = Segmentation.from_rules([rule_over(60, 80, 50_000, 100_000)])
+        report = exact_region_error(seg, truth, X_RANGE, Y_RANGE)
+        expected = 20 * 50_000 / SPACE
+        assert report.false_positive_area == pytest.approx(expected)
+        assert report.false_negative_area == pytest.approx(expected)
+        assert report.jaccard == pytest.approx(0.0)
+
+    def test_partial_overlap(self):
+        truth = [Region("age", 20, 40, "salary", 50_000, 100_000)]
+        seg = Segmentation.from_rules([rule_over(30, 50, 50_000, 100_000)])
+        report = exact_region_error(seg, truth, X_RANGE, Y_RANGE)
+        band = 10 * 50_000 / SPACE
+        assert report.false_positive_area == pytest.approx(band)
+        assert report.false_negative_area == pytest.approx(band)
+
+    def test_undercover_only_false_negative(self):
+        truth = [Region("age", 20, 40, "salary", 50_000, 100_000)]
+        seg = Segmentation.from_rules([rule_over(25, 35, 50_000, 100_000)])
+        report = exact_region_error(seg, truth, X_RANGE, Y_RANGE)
+        assert report.false_positive_area == pytest.approx(0.0)
+        assert report.false_negative_area > 0
+
+    def test_function2_truth_against_itself(self):
+        regions = true_regions(2)
+        rules = [
+            rule_over(r.x_lo, r.x_hi, r.y_lo, r.y_hi) for r in regions
+        ]
+        report = exact_region_error(
+            Segmentation.from_rules(rules), regions, X_RANGE, Y_RANGE
+        )
+        assert report.total_error_area == pytest.approx(0.0)
+        # Group A is ~38.5% of the space (matches Table 1's ~40%).
+        assert report.true_area == pytest.approx(0.385, abs=0.01)
+
+    def test_empty_segmentation(self):
+        truth = [Region("age", 20, 40, "salary", 50_000, 100_000)]
+        empty = Segmentation(
+            rules=(), x_attribute="age", y_attribute="salary",
+            rhs_attribute="group", rhs_value="A",
+        )
+        report = exact_region_error(empty, truth, X_RANGE, Y_RANGE)
+        assert report.false_positive_area == 0.0
+        assert report.false_negative_area == pytest.approx(
+            report.true_area
+        )
+
+    def test_rejects_degenerate_space(self):
+        seg = Segmentation(
+            rules=(), x_attribute="age", y_attribute="salary",
+            rhs_attribute="group", rhs_value="A",
+        )
+        with pytest.raises(ValueError):
+            exact_region_error(seg, [], (1.0, 1.0), Y_RANGE)

@@ -1,0 +1,126 @@
+"""Unit tests for the alternative optimizers (annealing, factorial)."""
+
+import pytest
+
+from repro.core.clusterer import GridClusterer
+from repro.core.mdl import MDLWeights
+from repro.core.optimizer import HeuristicOptimizer, OptimizerConfig
+from repro.core.verifier import Verifier
+from repro.extensions.annealing import AnnealingConfig, AnnealingOptimizer
+from repro.extensions.factorial import factorial_search
+
+
+@pytest.fixture(scope="module")
+def search_setup(request):
+    import repro
+    from repro.binning import bin_table
+    table = repro.generate_synthetic(
+        repro.SyntheticConfig(n_tuples=8_000, function_id=2,
+                              perturbation=0.05, seed=21)
+    )
+    binner = bin_table(table, "age", "salary", "group", 25, 25)
+    code = binner.rhs_encoding.code_of("A")
+    clusterer = GridClusterer()
+    verifier = Verifier(table, "group", "A", sample_size=800, repeats=3)
+    return binner.bin_array, code, clusterer, verifier
+
+
+class TestAnnealingConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"cooling": 1.0},
+        {"cooling": 0.0},
+        {"initial_temperature": 0.0},
+        {"steps_per_temperature": 0},
+        {"max_support_levels": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            AnnealingConfig(**kwargs)
+
+
+class TestAnnealingOptimizer:
+    def test_finds_reasonable_segmentation(self, search_setup):
+        bin_array, code, clusterer, verifier = search_setup
+        optimizer = AnnealingOptimizer(
+            clusterer, verifier,
+            config=AnnealingConfig(initial_temperature=1.5,
+                                   min_temperature=0.05, seed=3),
+        )
+        result = optimizer.search(bin_array, code)
+        assert result.best.n_clusters >= 1
+        assert result.best.report.error_rate < 0.2
+        assert result.stopped_by == "annealing schedule"
+
+    def test_best_is_minimum_of_history(self, search_setup):
+        bin_array, code, clusterer, verifier = search_setup
+        optimizer = AnnealingOptimizer(
+            clusterer, verifier,
+            config=AnnealingConfig(min_temperature=0.2, seed=3),
+        )
+        result = optimizer.search(bin_array, code)
+        assert result.best.mdl_cost == min(
+            trial.mdl_cost for trial in result.history
+        )
+
+    def test_deterministic_for_fixed_seed(self, search_setup):
+        bin_array, code, clusterer, verifier = search_setup
+        config = AnnealingConfig(min_temperature=0.3, seed=9)
+        a = AnnealingOptimizer(clusterer, verifier,
+                               config=config).search(bin_array, code)
+        b = AnnealingOptimizer(clusterer, verifier,
+                               config=config).search(bin_array, code)
+        assert a.best.mdl_cost == b.best.mdl_cost
+        assert len(a.history) == len(b.history)
+
+    def test_comparable_to_heuristic(self, search_setup):
+        """Annealing should land within an MDL bit or two of the
+        heuristic walk on this easy problem."""
+        bin_array, code, clusterer, verifier = search_setup
+        heuristic = HeuristicOptimizer(
+            clusterer, verifier, MDLWeights(),
+            OptimizerConfig(max_support_levels=8,
+                            max_confidence_levels=6),
+        ).search(bin_array, code)
+        annealed = AnnealingOptimizer(
+            clusterer, verifier,
+            config=AnnealingConfig(min_temperature=0.05, seed=1),
+        ).search(bin_array, code)
+        assert annealed.best.mdl_cost <= heuristic.best.mdl_cost + 2.0
+
+
+class TestFactorialSearch:
+    def test_runs_and_reports_effects(self, search_setup):
+        bin_array, code, clusterer, verifier = search_setup
+        report = factorial_search(
+            bin_array, code, clusterer, verifier, rounds=2
+        )
+        assert len(report.rounds) == 2
+        assert report.best.n_clusters >= 1
+        first = report.rounds[0]
+        assert len(first.corner_costs) == 4
+
+    def test_each_round_costs_at_most_four_new_runs(self, search_setup):
+        bin_array, code, clusterer, verifier = search_setup
+        report = factorial_search(
+            bin_array, code, clusterer, verifier, rounds=3
+        )
+        assert len(report.history) <= 4 * 3
+
+    def test_ranges_shrink_between_rounds(self, search_setup):
+        bin_array, code, clusterer, verifier = search_setup
+        report = factorial_search(
+            bin_array, code, clusterer, verifier, rounds=2, shrink=0.5
+        )
+        first, second = report.rounds
+        first_span = first.support_levels[1] - first.support_levels[0]
+        second_span = second.support_levels[1] - second.support_levels[0]
+        assert second_span <= first_span * 0.5 + 1e-12
+
+    def test_rejects_bad_arguments(self, search_setup):
+        bin_array, code, clusterer, verifier = search_setup
+        with pytest.raises(ValueError):
+            factorial_search(bin_array, code, clusterer, verifier,
+                             rounds=0)
+        with pytest.raises(ValueError):
+            factorial_search(bin_array, code, clusterer, verifier,
+                             shrink=1.0)

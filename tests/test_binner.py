@@ -1,0 +1,106 @@
+"""Unit tests for the streaming Binner."""
+
+import numpy as np
+import pytest
+
+from repro.binning.binner import Binner, bin_table
+from repro.data.schema import Table, categorical, quantitative
+
+SPECS = [
+    quantitative("age", 20, 80),
+    quantitative("salary", 20_000, 150_000),
+    categorical("group", ("A", "other")),
+]
+
+
+def small_table():
+    return Table.from_columns(SPECS, {
+        "age": [20, 35, 50, 65, 80],
+        "salary": [20_000, 60_000, 100_000, 140_000, 150_000],
+        "group": ["A", "A", "other", "A", "other"],
+    })
+
+
+class TestFit:
+    def test_layouts_come_from_declared_domains(self):
+        binner = Binner.fit(small_table(), "age", "salary", "group", 6, 13)
+        assert binner.x_layout.low == 20 and binner.x_layout.high == 80
+        assert binner.y_layout.low == 20_000
+        assert binner.x_layout.n_bins == 6
+        assert binner.y_layout.n_bins == 13
+
+    def test_rhs_encoding_from_domain(self):
+        binner = Binner.fit(small_table(), "age", "salary", "group", 4, 4)
+        assert binner.rhs_encoding.values == ("A", "other")
+
+    def test_rejects_categorical_lhs(self):
+        with pytest.raises(ValueError, match="must be quantitative"):
+            Binner.fit(small_table(), "group", "salary", "group", 4, 4)
+
+    def test_target_value_enables_single_target_mode(self):
+        binner = Binner.fit(
+            small_table(), "age", "salary", "group", 4, 4,
+            target_value="A",
+        )
+        assert binner.bin_array.single_target
+        assert binner.bin_array.target_code == 0
+
+
+class TestConsume:
+    def test_counts_match_manual_binning(self):
+        table = small_table()
+        binner = Binner.fit(table, "age", "salary", "group", 6, 13)
+        binner.consume(table)
+        array = binner.bin_array
+        assert array.n_total == 5
+        # age 20 -> bin 0; salary 20k -> bin 0; group A -> code 0.
+        assert array.count_grid(0)[0, 0] == 1
+        # age 80 -> last bin; salary 150k -> last bin; group other.
+        assert array.count_grid(1)[5, 12] == 1
+
+    def test_chunked_equals_single_pass(self):
+        table = small_table()
+        whole = Binner.fit(table, "age", "salary", "group", 6, 13)
+        whole.consume(table)
+        chunked = Binner.fit(table, "age", "salary", "group", 6, 13)
+        chunked.consume_all(table.iter_chunks(2))
+        assert np.array_equal(
+            whole.bin_array.counts, chunked.bin_array.counts
+        )
+        assert np.array_equal(
+            whole.bin_array.totals, chunked.bin_array.totals
+        )
+
+    def test_assign_points(self):
+        table = small_table()
+        binner = Binner.fit(table, "age", "salary", "group", 6, 13)
+        x_bins, y_bins = binner.assign_points(table)
+        assert len(x_bins) == len(table)
+        assert x_bins[0] == 0 and x_bins[-1] == 5
+
+
+class TestBinTable:
+    def test_one_call_pipeline(self):
+        binner = bin_table(
+            small_table(), "age", "salary", "group",
+            n_bins_x=6, n_bins_y=13, chunk_rows=2,
+        )
+        assert binner.bin_array.n_total == 5
+
+    def test_defaults_are_paper_defaults(self, f2_clean_table):
+        binner = bin_table(f2_clean_table, "age", "salary", "group")
+        assert binner.bin_array.n_x == 50
+        assert binner.bin_array.n_y == 50
+
+    def test_total_counts_partition(self, f2_binner):
+        array = f2_binner.bin_array
+        assert array.counts.sum() == array.n_total
+        assert array.totals.sum() == array.n_total
+
+    def test_equi_depth_strategy(self, f2_clean_table):
+        binner = bin_table(
+            f2_clean_table, "age", "salary", "group",
+            n_bins_x=10, n_bins_y=10, strategy="equi-depth",
+        )
+        counts_per_x = binner.bin_array.totals.sum(axis=1)
+        assert counts_per_x.min() > 0.5 * counts_per_x.mean()

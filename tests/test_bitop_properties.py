@@ -1,0 +1,95 @@
+"""Property-based tests of BitOp against the brute-force oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitop import (
+    BitOpClusterer,
+    brute_force_maximal_rectangles,
+    enumerate_rectangles,
+    runs_of_set_bits,
+)
+from repro.core.grid import RuleGrid
+
+
+@st.composite
+def small_grids(draw, max_rows=7, max_cols=7):
+    n_rows = draw(st.integers(1, max_rows))
+    n_cols = draw(st.integers(1, max_cols))
+    bits = draw(
+        st.lists(
+            st.lists(st.booleans(), min_size=n_cols, max_size=n_cols),
+            min_size=n_rows, max_size=n_rows,
+        )
+    )
+    return RuleGrid(np.array(bits, dtype=bool))
+
+
+@given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+def test_runs_reconstruct_mask(mask):
+    """Runs are a lossless decomposition of the mask."""
+    rebuilt = 0
+    previous_end = -1
+    for start, length in runs_of_set_bits(mask):
+        assert length >= 1
+        assert start > previous_end  # runs are disjoint and ordered
+        rebuilt |= ((1 << length) - 1) << start
+        previous_end = start + length - 1
+    assert rebuilt == mask
+
+
+@given(st.integers(min_value=1, max_value=(1 << 24) - 1))
+def test_runs_are_maximal(mask):
+    """No run can be extended by one bit on either side."""
+    for start, length in runs_of_set_bits(mask):
+        if start > 0:
+            assert not (mask >> (start - 1)) & 1
+        assert not (mask >> (start + length)) & 1
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_grids())
+def test_enumeration_rectangles_are_fully_set(grid):
+    rows = grid.row_bitmaps()
+    for rect in enumerate_rectangles(rows):
+        assert grid.covers(rect)
+
+
+@settings(max_examples=100, deadline=None)
+@given(small_grids())
+def test_enumeration_superset_of_maximal_rectangles(grid):
+    """Every maximal all-set rectangle appears among BitOp's candidates."""
+    enumerated = set(enumerate_rectangles(grid.row_bitmaps()))
+    for rect in brute_force_maximal_rectangles(grid):
+        assert rect in enumerated
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_grids())
+def test_greedy_cover_is_exact_partition_of_set_cells(grid):
+    """The greedy cover covers every set cell, covers no unset cell, and
+    its rectangles are pairwise disjoint (each iteration clears what it
+    claimed)."""
+    clusters = BitOpClusterer().cluster(grid)
+    covered = np.zeros_like(grid.cells)
+    for rect in clusters:
+        block = covered[rect.x_lo:rect.x_hi + 1, rect.y_lo:rect.y_hi + 1]
+        assert not block.any()  # disjoint
+        covered[rect.x_lo:rect.x_hi + 1, rect.y_lo:rect.y_hi + 1] = True
+    assert np.array_equal(covered, grid.cells)
+
+
+@settings(max_examples=100, deadline=None)
+@given(small_grids())
+def test_greedy_cover_sizes_are_non_increasing(grid):
+    clusters = BitOpClusterer().cluster(grid)
+    areas = [rect.area for rect in clusters]
+    assert areas == sorted(areas, reverse=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(small_grids(), st.integers(2, 6))
+def test_min_cells_floor_respected(grid, min_cells):
+    clusters = BitOpClusterer(min_cells=min_cells).cluster(grid)
+    assert all(rect.area >= min_cells for rect in clusters)

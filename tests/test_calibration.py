@@ -1,0 +1,102 @@
+"""Unit tests for noise-floor calibration and auto bin sizing."""
+
+import pytest
+
+import repro
+from repro.analysis.calibration import (
+    ErrorDecomposition,
+    decompose_error,
+    label_noise_rate,
+)
+from repro.binning.strategies import suggest_bin_count
+from repro.core.arcs import ARCS, ARCSConfig
+from repro.core.optimizer import OptimizerConfig
+
+
+class TestLabelNoiseRate:
+    def test_clean_data_has_zero_floor(self, f2_clean_table):
+        assert label_noise_rate(f2_clean_table, 2) == 0.0
+
+    def test_perturbation_creates_floor(self, f2_table):
+        floor = label_noise_rate(f2_table, 2)
+        assert 0.01 < floor < 0.15
+
+    def test_outliers_add_their_fraction(self, f2_table,
+                                         f2_outlier_table):
+        clean_floor = label_noise_rate(f2_table, 2)
+        outlier_floor = label_noise_rate(f2_outlier_table, 2)
+        # ~10% of flips land on already-noisy tuples, so the gain is a
+        # bit under 0.10.
+        assert 0.06 < outlier_floor - clean_floor < 0.11
+
+
+class TestDecomposeError:
+    def test_structural_is_excess_over_floor(self, f2_table):
+        floor = label_noise_rate(f2_table, 2)
+        decomposition = decompose_error(floor + 0.03, f2_table, 2)
+        assert decomposition.structural == pytest.approx(0.03)
+
+    def test_structural_clamped_at_zero(self, f2_table):
+        decomposition = decompose_error(0.0, f2_table, 2)
+        assert decomposition.structural == 0.0
+
+    def test_str_mentions_both_parts(self, f2_table):
+        text = str(decompose_error(0.1, f2_table, 2))
+        assert "floor" in text and "structural" in text
+
+    def test_rejects_bad_error(self, f2_table):
+        with pytest.raises(ValueError):
+            decompose_error(1.5, f2_table, 2)
+
+    def test_arcs_error_mostly_floor(self, f2_table):
+        """The fitted segmentation's error should be dominated by the
+        irreducible noise, not by structural misfit."""
+        result = ARCS(ARCSConfig(
+            optimizer=OptimizerConfig(max_support_levels=6,
+                                      max_confidence_levels=6),
+        )).fit(f2_table, "age", "salary", "group", "A")
+        decomposition = decompose_error(
+            result.best_trial.report.error_rate, f2_table, 2
+        )
+        assert decomposition.structural < decomposition.floor
+
+
+class TestSuggestBinCount:
+    def test_paper_regime_gives_fifty(self):
+        assert suggest_bin_count(30_000) == 50
+        assert suggest_bin_count(1_000_000) == 50
+
+    def test_small_tables_get_fewer_bins(self):
+        assert suggest_bin_count(5_000) < 50
+        assert suggest_bin_count(800) == 10  # clamped at the floor
+
+    def test_monotone_in_size(self):
+        counts = [suggest_bin_count(n)
+                  for n in (1_000, 5_000, 20_000, 100_000)]
+        assert counts == sorted(counts)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_tuples": 0},
+        {"n_tuples": 100, "target_per_cell": 0},
+        {"n_tuples": 100, "min_bins": 20, "max_bins": 10},
+    ])
+    def test_rejects_bad_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            suggest_bin_count(**kwargs)
+
+    def test_auto_bins_fixes_small_table_regime(self):
+        """The failure mode the benchmarks exposed: 5k tuples on a fixed
+        50x50 grid starve; auto bins recover the three clusters."""
+        table = repro.generate_synthetic(
+            repro.SyntheticConfig(n_tuples=5_000, perturbation=0.05,
+                                  outlier_fraction=0.10, seed=2000)
+        )
+        config = ARCSConfig(
+            auto_bins=True,
+            optimizer=OptimizerConfig(max_support_levels=6,
+                                      max_confidence_levels=10),
+        )
+        result = ARCS(config).fit(table, "age", "salary", "group", "A")
+        assert result.binner.bin_array.n_x == suggest_bin_count(5_000)
+        assert 2 <= len(result.segmentation) <= 4
+        assert result.best_trial.report.error_rate < 0.30

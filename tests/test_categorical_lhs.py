@@ -1,0 +1,176 @@
+"""Unit tests for the categorical-LHS extension (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.arcs import ARCSConfig
+from repro.core.optimizer import OptimizerConfig
+from repro.data.schema import Table, categorical, quantitative
+from repro.extensions.categorical_lhs import (
+    density_ordering,
+    fit_categorical_lhs,
+)
+
+REGIONS = ("north", "south", "east", "west", "centre")
+
+
+def region_table(n=12_000, seed=0):
+    """Group A concentrates in two regions and one salary band."""
+    rng = np.random.default_rng(seed)
+    region = rng.choice(REGIONS, size=n)
+    salary = rng.uniform(0, 100_000, size=n)
+    dense = np.isin(region, ("north", "east"))
+    in_band = (salary >= 40_000) & (salary < 80_000)
+    base = dense & in_band
+    noise = rng.random(n) < 0.02
+    labels = np.where(base ^ noise, "A", "other")
+    return Table.from_columns(
+        [categorical("region", REGIONS),
+         quantitative("salary", 0, 100_000),
+         categorical("group", ("A", "other"))],
+        {"region": region.tolist(), "salary": salary,
+         "group": labels.tolist()},
+    )
+
+
+class TestDensityOrdering:
+    def test_dense_regions_first(self):
+        table = region_table()
+        ordering = density_ordering(table, "region", "group", "A")
+        assert set(ordering[:2]) == {"north", "east"}
+        assert len(ordering) == len(REGIONS)
+
+    def test_deterministic(self):
+        table = region_table()
+        a = density_ordering(table, "region", "group", "A")
+        b = density_ordering(table, "region", "group", "A")
+        assert a == b
+
+
+class TestFitCategoricalLhs:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        table = region_table()
+        config = ARCSConfig(
+            n_bins_y=20,
+            optimizer=OptimizerConfig(max_support_levels=6,
+                                      max_confidence_levels=4),
+            sample_size=800,
+        )
+        rules, ordering, result = fit_categorical_lhs(
+            table, "region", "salary", "group", "A", config=config
+        )
+        return table, rules, ordering, result
+
+    def test_finds_the_dense_value_set(self, fitted):
+        _, rules, _, _ = fitted
+        assert rules
+        top = max(rules, key=lambda rule: rule.support)
+        assert set(top.x_values) == {"north", "east"}
+
+    def test_salary_band_recovered(self, fitted):
+        _, rules, _, _ = fitted
+        top = max(rules, key=lambda rule: rule.support)
+        assert abs(top.y_interval.low - 40_000) <= 10_000
+        assert abs(top.y_interval.high - 80_000) <= 10_000
+
+    def test_rule_matches_semantics(self, fitted):
+        table, rules, _, _ = fitted
+        top = max(rules, key=lambda rule: rule.support)
+        got = top.matches(
+            table.column("region")[:50], table.column("salary")[:50]
+        )
+        value_set = set(top.x_values)
+        for i in range(50):
+            expected = (
+                table.column("region")[i] in value_set
+                and top.y_interval.contains(
+                    [table.column("salary")[i]]
+                )[0]
+            )
+            assert got[i] == expected
+
+    def test_str_lists_value_set(self, fitted):
+        _, rules, _, _ = fitted
+        assert "in {" in str(rules[0])
+
+    def test_rejects_quantitative_x(self, fitted):
+        table, _, _, _ = fitted
+        with pytest.raises(ValueError, match="not categorical"):
+            fit_categorical_lhs(
+                table, "salary", "salary", "group", "A"
+            )
+
+
+class TestFitCategoricalPair:
+    """Both LHS attributes categorical (Section 5's full goal)."""
+
+    CITIES = ("u1", "u2", "u3", "u4")
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(33)
+        n = 12_000
+        region = rng.choice(REGIONS, size=n)
+        city = rng.choice(self.CITIES, size=n)
+        dense = (
+            np.isin(region, ("north", "east"))
+            & np.isin(city, ("u1", "u3"))
+        )
+        labels = np.where(dense, "A", "other")
+        table = Table.from_columns(
+            [categorical("region", REGIONS),
+             categorical("city", self.CITIES),
+             categorical("group", ("A", "other"))],
+            {"region": region.tolist(), "city": city.tolist(),
+             "group": labels.tolist()},
+        )
+        from repro.extensions.categorical_lhs import fit_categorical_pair
+        config = ARCSConfig(
+            optimizer=OptimizerConfig(max_support_levels=5,
+                                      max_confidence_levels=5),
+            sample_size=800,
+        )
+        rules, orderings, result = fit_categorical_pair(
+            table, "region", "city", "group", "A", config=config
+        )
+        return table, rules, orderings, result
+
+    def test_finds_both_value_sets(self, fitted):
+        _, rules, _, _ = fitted
+        assert rules
+        top = max(rules, key=lambda rule: rule.support)
+        assert set(top.x_values) == {"north", "east"}
+        assert set(top.y_values) == {"u1", "u3"}
+
+    def test_orderings_density_first(self, fitted):
+        _, _, (x_ordering, y_ordering), _ = fitted
+        assert set(x_ordering[:2]) == {"north", "east"}
+        assert set(y_ordering[:2]) == {"u1", "u3"}
+
+    def test_matches_semantics(self, fitted):
+        table, rules, _, _ = fitted
+        top = max(rules, key=lambda rule: rule.support)
+        got = top.matches(
+            table.column("region")[:100], table.column("city")[:100]
+        )
+        x_set, y_set = set(top.x_values), set(top.y_values)
+        for i in range(100):
+            expected = (
+                table.column("region")[i] in x_set
+                and table.column("city")[i] in y_set
+            )
+            assert got[i] == expected
+
+    def test_str_lists_both_sets(self, fitted):
+        _, rules, _, _ = fitted
+        text = str(rules[0])
+        assert text.count("in {") == 2
+
+    def test_rejects_quantitative_attribute(self, fitted):
+        from repro.extensions.categorical_lhs import fit_categorical_pair
+        table = region_table(n=500)
+        with pytest.raises(ValueError, match="not categorical"):
+            fit_categorical_pair(
+                table, "region", "salary", "group", "A"
+            )

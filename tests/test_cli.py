@@ -1,0 +1,192 @@
+"""Integration tests for the `arcs` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def dataset(tmp_path):
+    path = tmp_path / "data.csv"
+    code = main([
+        "generate", str(path),
+        "--tuples", "8000", "--seed", "5",
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        path = tmp_path / "out.csv"
+        code = main(["generate", str(path), "--tuples", "500"])
+        assert code == 0
+        header = path.read_text().splitlines()[0]
+        assert "salary" in header and "group" in header
+        assert "wrote 500 tuples" in capsys.readouterr().out
+
+    def test_outlier_flag(self, tmp_path):
+        path = tmp_path / "out.csv"
+        assert main([
+            "generate", str(path), "--tuples", "300",
+            "--outliers", "0.1",
+        ]) == 0
+
+    def test_rejects_unknown_function(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", str(tmp_path / "x.csv"),
+                  "--function", "11"])
+
+
+class TestFit:
+    def test_fit_prints_segmentation(self, dataset, capsys):
+        code = main([
+            "fit", str(dataset),
+            "--x", "age", "--y", "salary",
+            "--rhs", "group", "--target", "A",
+            "--bins", "30",
+            "--support-levels", "5", "--confidence-levels", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "group = A" in out
+        assert "support>=" in out
+
+    def test_fit_verbose_prints_trials(self, dataset, capsys):
+        code = main([
+            "fit", str(dataset),
+            "--x", "age", "--y", "salary",
+            "--rhs", "group", "--target", "A",
+            "--bins", "20",
+            "--support-levels", "3", "--confidence-levels", "3",
+            "--verbose",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Multiple trial lines precede the final report.
+        assert out.count("clusters, error=") >= 3
+
+    def test_fit_saves_artefacts(self, dataset, tmp_path, capsys):
+        seg_path = tmp_path / "seg.json"
+        bins_path = tmp_path / "bins.npz"
+        code = main([
+            "fit", str(dataset),
+            "--x", "age", "--y", "salary",
+            "--rhs", "group", "--target", "A",
+            "--bins", "25",
+            "--support-levels", "5", "--confidence-levels", "4",
+            "--save-segmentation", str(seg_path),
+            "--save-binarray", str(bins_path),
+        ])
+        assert code == 0
+        payload = json.loads(seg_path.read_text())
+        assert payload["rhs_value"] == "A"
+        assert bins_path.exists()
+
+
+class TestFitAll:
+    def test_prints_one_section_per_group(self, dataset, capsys):
+        code = main([
+            "fit-all", str(dataset),
+            "--x", "age", "--y", "salary", "--rhs", "group",
+            "--bins", "25",
+            "--support-levels", "4", "--confidence-levels", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "group = A" in out
+        assert "group = other" in out
+
+
+class TestRemineAndInspect:
+    @pytest.fixture()
+    def artefacts(self, dataset, tmp_path):
+        seg_path = tmp_path / "seg.json"
+        bins_path = tmp_path / "bins.npz"
+        main([
+            "fit", str(dataset),
+            "--x", "age", "--y", "salary",
+            "--rhs", "group", "--target", "A",
+            "--bins", "25",
+            "--support-levels", "5", "--confidence-levels", "4",
+            "--save-segmentation", str(seg_path),
+            "--save-binarray", str(bins_path),
+        ])
+        return seg_path, bins_path
+
+    def test_remine_from_saved_binarray(self, artefacts, capsys):
+        _, bins_path = artefacts
+        code = main([
+            "remine", str(bins_path),
+            "--target", "A",
+            "--min-support", "0.0005", "--min-confidence", "0.6",
+        ])
+        assert code == 0
+        assert "re-mined" in capsys.readouterr().out
+
+    def test_inspect_prints_rules(self, artefacts, capsys):
+        seg_path, _ = artefacts
+        code = main(["inspect", str(seg_path)])
+        assert code == 0
+        assert "group = A" in capsys.readouterr().out
+
+    def test_inspect_evaluates_against_csv(self, artefacts, dataset,
+                                           capsys):
+        seg_path, _ = artefacts
+        code = main([
+            "inspect", str(seg_path), "--evaluate", str(dataset),
+        ])
+        assert code == 0
+        assert "error rate" in capsys.readouterr().out
+
+
+class TestFailurePaths:
+    def test_fit_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main([
+                "fit", str(tmp_path / "nope.csv"),
+                "--x", "age", "--y", "salary",
+                "--rhs", "group", "--target", "A",
+            ])
+
+    def test_fit_unknown_attribute(self, dataset):
+        from repro.data.schema import SchemaError
+        with pytest.raises(SchemaError):
+            main([
+                "fit", str(dataset),
+                "--x", "height", "--y", "salary",
+                "--rhs", "group", "--target", "A",
+            ])
+
+    def test_fit_unknown_target(self, dataset):
+        with pytest.raises(KeyError):
+            main([
+                "fit", str(dataset),
+                "--x", "age", "--y", "salary",
+                "--rhs", "group", "--target", "no-such-group",
+                "--support-levels", "3", "--confidence-levels", "3",
+            ])
+
+    def test_remine_rejects_non_binarray(self, tmp_path):
+        import numpy as np
+        from repro.persistence import PersistenceError
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, data=np.zeros(2))
+        with pytest.raises(PersistenceError):
+            main([
+                "remine", str(bogus), "--target", "A",
+                "--min-support", "0.01", "--min-confidence", "0.5",
+            ])
+
+    def test_inspect_rejects_non_segmentation(self, tmp_path):
+        from repro.persistence import PersistenceError
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"format": "other"}')
+        with pytest.raises(PersistenceError):
+            main(["inspect", str(bogus)])
+
+    def test_no_command_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main([])

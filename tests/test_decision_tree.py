@@ -1,0 +1,185 @@
+"""Unit tests for the C4.5-style decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.decision_tree import (
+    C45Tree,
+    TreeConfig,
+    pessimistic_errors,
+)
+from repro.data.schema import Table, categorical, quantitative
+
+
+def xor_free_table():
+    """A table a single split separates perfectly."""
+    return Table.from_columns(
+        [quantitative("x", 0, 10), categorical("label", ("a", "b"))],
+        {
+            "x": [1, 2, 3, 4, 6, 7, 8, 9],
+            "label": ["a", "a", "a", "a", "b", "b", "b", "b"],
+        },
+    )
+
+
+def grid_table():
+    """Two rectangles requiring nested splits."""
+    points = []
+    labels = []
+    for x in np.linspace(0, 10, 21):
+        for y in np.linspace(0, 10, 21):
+            points.append((x, y))
+            labels.append("in" if (2 <= x <= 5 and 3 <= y <= 8) else "out")
+    xs, ys = zip(*points)
+    return Table.from_columns(
+        [quantitative("x", 0, 10), quantitative("y", 0, 10),
+         categorical("label", ("in", "out"))],
+        {"x": list(xs), "y": list(ys), "label": labels},
+    )
+
+
+class TestPessimisticErrors:
+    def test_c45_known_value(self):
+        """The canonical C4.5 check: U_25%(0, 1) = 0.75."""
+        assert pessimistic_errors(1, 0, 0.25) == pytest.approx(0.75)
+
+    def test_zero_cases(self):
+        assert pessimistic_errors(0, 0, 0.25) == 0.0
+
+    def test_all_errors_saturates(self):
+        assert pessimistic_errors(10, 10, 0.25) == 10.0
+
+    def test_monotone_in_observed_errors(self):
+        assert pessimistic_errors(100, 10, 0.25) > pessimistic_errors(
+            100, 5, 0.25
+        )
+
+    def test_bound_exceeds_observed(self):
+        assert pessimistic_errors(100, 10, 0.25) > 10.0
+
+    def test_tightens_with_more_data(self):
+        """Same error rate, more data -> bound rate closer to observed."""
+        loose = pessimistic_errors(10, 1, 0.25) / 10
+        tight = pessimistic_errors(1000, 100, 0.25) / 1000
+        assert tight < loose
+
+
+class TestTreeConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"min_leaf": 0},
+        {"confidence_factor": 0.0},
+        {"confidence_factor": 0.6},
+        {"max_thresholds": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            TreeConfig(**kwargs)
+
+
+class TestFitAndPredict:
+    def test_single_split_problem(self):
+        table = xor_free_table()
+        tree = C45Tree().fit(table, ["x"], "label")
+        assert (tree.predict(table) == table.column("label")).all()
+        assert tree.n_leaves == 2
+        root = tree.root
+        assert root.attribute == "x"
+        assert 4 < root.threshold < 6
+
+    def test_rectangle_problem(self):
+        table = grid_table()
+        tree = C45Tree().fit(table, ["x", "y"], "label")
+        accuracy = float(
+            np.mean(tree.predict(table) == table.column("label"))
+        )
+        assert accuracy > 0.98
+
+    def test_pure_node_is_leaf(self):
+        table = Table.from_columns(
+            [quantitative("x"), categorical("label", ("a",))],
+            {"x": [1, 2, 3], "label": ["a", "a", "a"]},
+        )
+        tree = C45Tree().fit(table, ["x"], "label")
+        assert tree.root.is_leaf
+        assert tree.root.label == "a"
+
+    def test_max_depth_respected(self):
+        table = grid_table()
+        tree = C45Tree(TreeConfig(max_depth=2)).fit(
+            table, ["x", "y"], "label"
+        )
+        assert tree.depth <= 2
+
+    def test_min_leaf_respected(self):
+        table = grid_table()
+        tree = C45Tree(TreeConfig(min_leaf=30)).fit(
+            table, ["x", "y"], "label"
+        )
+
+        def check(node):
+            assert node.n_tuples >= 30
+            for child in node.children:
+                check(child)
+
+        check(tree.root)
+
+    def test_categorical_split(self):
+        table = Table.from_columns(
+            [categorical("color", ("red", "green", "blue")),
+             categorical("label", ("warm", "cool"))],
+            {
+                "color": ["red"] * 10 + ["green"] * 10 + ["blue"] * 10,
+                "label": ["warm"] * 10 + ["cool"] * 20,
+            },
+        )
+        tree = C45Tree().fit(table, ["color"], "label")
+        assert (tree.predict(table) == table.column("label")).all()
+
+    def test_unseen_categorical_value_falls_back(self):
+        train = Table.from_columns(
+            [categorical("color"), categorical("label", ("w", "c"))],
+            {
+                "color": ["red"] * 10 + ["green"] * 5,
+                "label": ["w"] * 10 + ["c"] * 5,
+            },
+        )
+        tree = C45Tree().fit(train, ["color"], "label")
+        test = Table.from_columns(
+            [categorical("color"), categorical("label", ("w", "c"))],
+            {"color": ["blue"], "label": ["w"]},
+        )
+        got = tree.predict(test)
+        assert got[0] in ("w", "c")
+
+    def test_predict_before_fit_raises(self, tiny_table):
+        with pytest.raises(ValueError):
+            C45Tree().predict(tiny_table)
+
+    def test_empty_table_rejected(self):
+        table = Table.from_columns(
+            [quantitative("x"), categorical("label", ("a",))],
+            {"x": [], "label": []},
+        )
+        with pytest.raises(ValueError):
+            C45Tree().fit(table, ["x"], "label")
+
+
+class TestPruning:
+    def test_pruning_shrinks_noisy_tree(self, f2_table):
+        sample = f2_table.head(4000)
+        unpruned = C45Tree(TreeConfig(prune=False)).fit(
+            sample, ["age", "salary"], "group"
+        )
+        pruned = C45Tree(TreeConfig(prune=True)).fit(
+            sample, ["age", "salary"], "group"
+        )
+        assert pruned.n_leaves < unpruned.n_leaves
+
+    def test_pruning_keeps_generalisation(self, f2_table):
+        train = f2_table.head(4000)
+        test = f2_table.take(range(10_000, 14_000))
+        pruned = C45Tree().fit(train, ["age", "salary"], "group")
+        accuracy = float(
+            np.mean(pruned.predict(test) == test.column("group"))
+        )
+        assert accuracy > 0.85

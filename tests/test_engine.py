@@ -1,0 +1,84 @@
+"""Unit tests for the single-pass 2-D rule engine (paper Figure 3)."""
+
+import pytest
+
+from repro.binning.bin_array import BinArray
+from repro.binning.categorical import CategoricalEncoding
+from repro.binning.strategies import equi_width_layout
+from repro.mining.engine import mine_binned_rules, rule_pairs
+
+
+def make_array():
+    array = BinArray(
+        x_layout=equi_width_layout("x", 0, 4, 4),
+        y_layout=equi_width_layout("y", 0, 4, 4),
+        rhs_encoding=CategoricalEncoding("g", ("A", "other")),
+    )
+    # Cell (0,0): 4 A of 5.  Cell (1,1): 1 A of 4.  Cell (2,2): 2 other.
+    array.add_chunk(
+        [0] * 5 + [1] * 4 + [2] * 2,
+        [0] * 5 + [1] * 4 + [2] * 2,
+        [0, 0, 0, 0, 1, 0, 1, 1, 1, 1, 1],
+    )
+    return array  # N = 11
+
+
+class TestRulePairs:
+    def test_support_and_confidence_thresholds(self):
+        array = make_array()
+        # support >= 2/11 keeps (0,0) only among A-cells; conf 0.5 passes.
+        got = rule_pairs(array, 0, min_support=2 / 11, min_confidence=0.5)
+        assert got == [(0, 0)]
+
+    def test_low_thresholds_keep_all_occupied_target_cells(self):
+        array = make_array()
+        got = rule_pairs(array, 0, min_support=0.0, min_confidence=0.0)
+        assert got == [(0, 0), (1, 1)]
+
+    def test_confidence_filters_weak_cells(self):
+        array = make_array()
+        got = rule_pairs(array, 0, min_support=0.0, min_confidence=0.5)
+        assert got == [(0, 0)]  # (1,1) has confidence 0.25
+
+    def test_empty_cells_never_qualify(self):
+        array = make_array()
+        got = rule_pairs(array, 0, 0.0, 0.0)
+        assert (3, 3) not in got
+
+    def test_other_group_cells(self):
+        array = make_array()
+        got = rule_pairs(array, 1, min_support=0.0, min_confidence=0.9)
+        assert (2, 2) in got
+        assert (0, 0) not in got
+
+    def test_support_tie_is_inclusive(self):
+        """The paper's >= min_support_count comparison."""
+        array = make_array()
+        got = rule_pairs(array, 0, min_support=4 / 11, min_confidence=0.0)
+        assert got == [(0, 0)]
+
+    @pytest.mark.parametrize("support,confidence",
+                             [(-0.1, 0.5), (0.5, 1.5)])
+    def test_rejects_bad_thresholds(self, support, confidence):
+        with pytest.raises(ValueError):
+            rule_pairs(make_array(), 0, support, confidence)
+
+
+class TestMineBinnedRules:
+    def test_rules_carry_measures(self):
+        array = make_array()
+        rules = mine_binned_rules(array, 0, 0.0, 0.5)
+        assert len(rules) == 1
+        rule = rules[0]
+        assert (rule.x_bin, rule.y_bin) == (0, 0)
+        assert rule.support == pytest.approx(4 / 11)
+        assert rule.confidence == pytest.approx(4 / 5)
+        assert rule.rhs_value == "A"
+
+    def test_remining_with_new_thresholds_needs_no_data(self):
+        """The BinArray is the only input — re-mining is a pure re-scan."""
+        array = make_array()
+        loose = mine_binned_rules(array, 0, 0.0, 0.0)
+        tight = mine_binned_rules(array, 0, 0.3, 0.5)
+        assert len(loose) > len(tight)
+        assert array.n_total == 11  # untouched

@@ -1,0 +1,108 @@
+"""Tests for multi-criterion segmentation from one BinArray."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.arcs import ARCS, ARCSConfig
+from repro.core.optimizer import OptimizerConfig
+from repro.data.schema import Table, categorical, quantitative
+
+FAST = ARCSConfig(
+    n_bins_x=25, n_bins_y=25,
+    optimizer=OptimizerConfig(max_support_levels=5,
+                              max_confidence_levels=5),
+    sample_size=800, sample_repeats=3,
+)
+
+
+def three_group_table(n=15_000, seed=8):
+    """Three rating groups in disjoint (age, income) stripes."""
+    rng = np.random.default_rng(seed)
+    age = rng.uniform(0, 90, n)
+    income = rng.uniform(0, 90_000, n)
+    rating = np.full(n, "bronze", dtype=object)
+    rating[(age < 30) & (income >= 60_000)] = "gold"
+    rating[(age >= 30) & (age < 60) & (income >= 60_000)] = "silver"
+    return Table.from_columns(
+        [quantitative("age", 0, 90), quantitative("income", 0, 90_000),
+         categorical("rating", ("gold", "silver", "bronze"))],
+        {"age": age, "income": income, "rating": rating.tolist()},
+    )
+
+
+class TestFitAll:
+    @pytest.fixture(scope="class")
+    def results(self):
+        table = three_group_table()
+        return table, ARCS(FAST).fit_all(table, "age", "income",
+                                         "rating")
+
+    def test_one_result_per_occurring_value(self, results):
+        _, fitted = results
+        assert set(fitted) == {"gold", "silver", "bronze"}
+
+    def test_binner_shared_across_values(self, results):
+        """The headline: one binning pass serves every criterion."""
+        _, fitted = results
+        binners = {id(result.binner) for result in fitted.values()}
+        assert len(binners) == 1
+
+    def test_each_segmentation_targets_its_value(self, results):
+        _, fitted = results
+        for value, result in fitted.items():
+            assert result.segmentation.rhs_value == value
+
+    def test_segmentations_land_on_their_stripes(self, results):
+        table, fitted = results
+        gold = fitted["gold"].segmentation
+        assert len(gold) >= 1
+        rule = max(gold.rules, key=lambda r: r.support)
+        assert rule.x_interval.high <= 35
+        assert rule.y_interval.low >= 50_000
+
+    def test_matches_individual_fits(self, results):
+        """fit_all must agree with a fresh per-value fit (same config,
+        same data, same seed)."""
+        table, fitted = results
+        solo = ARCS(FAST).fit(table, "age", "income", "rating", "gold")
+        assert len(solo.segmentation) == len(fitted["gold"].segmentation)
+        assert solo.best_trial.mdl_cost == pytest.approx(
+            fitted["gold"].best_trial.mdl_cost
+        )
+
+    def test_rejects_single_target_memory(self):
+        table = three_group_table(n=1_000)
+        config = ARCSConfig(
+            single_target_memory=True,
+            optimizer=OptimizerConfig(max_support_levels=4,
+                                      max_confidence_levels=4),
+        )
+        with pytest.raises(ValueError, match="single_target_memory"):
+            ARCS(config).fit_all(table, "age", "income", "rating")
+
+    def test_absent_value_skipped(self):
+        table = three_group_table(n=2_000, seed=9)
+        # Declare a domain value no row carries.
+        specs = list(table.schema.values())
+        specs[-1] = categorical(
+            "rating", ("gold", "silver", "bronze", "platinum")
+        )
+        extended = Table.from_columns(specs, {
+            name: table.column(name) for name in table.attribute_names
+        })
+        fitted = ARCS(FAST).fit_all(extended, "age", "income", "rating")
+        assert "platinum" not in fitted
+
+
+class TestNaNRejection:
+    def test_binning_nan_rejected(self):
+        table = Table.from_columns(
+            [quantitative("x", 0, 1), quantitative("y", 0, 1),
+             categorical("g", ("a",))],
+            {"x": [0.5, float("nan")], "y": [0.5, 0.5],
+             "g": ["a", "a"]},
+        )
+        from repro.binning import bin_table
+        with pytest.raises(ValueError, match="NaN"):
+            bin_table(table, "x", "y", "g", 4, 4)

@@ -1,0 +1,85 @@
+"""Unit tests for the rule grid bitmap."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import RuleGrid
+from repro.core.rules import BinnedRule, GridRect
+
+
+class TestConstruction:
+    def test_empty(self):
+        grid = RuleGrid.empty(4, 3)
+        assert grid.n_x == 4 and grid.n_y == 3
+        assert grid.is_empty()
+        assert grid.n_set == 0
+
+    def test_from_pairs(self):
+        grid = RuleGrid.from_pairs([(0, 0), (2, 1)], 3, 2)
+        assert grid.n_set == 2
+        assert grid.cells[0, 0] and grid.cells[2, 1]
+
+    def test_from_rules(self):
+        rules = [BinnedRule(1, 1, "A", 0.1, 0.9)]
+        grid = RuleGrid.from_rules(rules, 3, 3)
+        assert grid.set_pairs() == [(1, 1)]
+
+    def test_from_rules_out_of_range(self):
+        rules = [BinnedRule(5, 0, "A", 0.1, 0.9)]
+        with pytest.raises(ValueError):
+            RuleGrid.from_rules(rules, 3, 3)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            RuleGrid(np.zeros(5, dtype=bool))
+
+
+class TestBitmaps:
+    def test_row_bitmaps(self):
+        grid = RuleGrid.from_pairs([(0, 0), (0, 2), (1, 1)], 2, 3)
+        rows = grid.row_bitmaps()
+        assert rows == [0b101, 0b010]
+
+    def test_round_trip(self):
+        grid = RuleGrid.from_pairs([(0, 0), (1, 2), (2, 1)], 3, 3)
+        rows = grid.row_bitmaps()
+        back = RuleGrid.from_row_bitmaps(rows, 3)
+        assert np.array_equal(grid.cells, back.cells)
+
+    def test_empty_rows_are_zero(self):
+        grid = RuleGrid.empty(3, 4)
+        assert grid.row_bitmaps() == [0, 0, 0]
+
+
+class TestRectOperations:
+    def test_covers(self):
+        grid = RuleGrid.empty(4, 4)
+        grid.set_rect(GridRect(1, 2, 1, 2))
+        assert grid.covers(GridRect(1, 2, 1, 2))
+        assert grid.covers(GridRect(1, 1, 1, 1))
+        assert not grid.covers(GridRect(0, 2, 1, 2))
+
+    def test_clear_rect(self):
+        grid = RuleGrid.empty(4, 4)
+        grid.set_rect(GridRect(0, 3, 0, 3))
+        grid.clear_rect(GridRect(1, 2, 1, 2))
+        assert grid.n_set == 16 - 4
+        assert not grid.cells[1, 1]
+        assert grid.cells[0, 0]
+
+    def test_copy_is_independent(self):
+        grid = RuleGrid.empty(2, 2)
+        clone = grid.copy()
+        clone.set_rect(GridRect(0, 0, 0, 0))
+        assert grid.is_empty()
+        assert not clone.is_empty()
+
+    def test_fraction_covered_by(self):
+        grid = RuleGrid.empty(4, 1)
+        grid.set_rect(GridRect(0, 3, 0, 0))
+        half = [GridRect(0, 1, 0, 0)]
+        assert grid.fraction_covered_by(half) == pytest.approx(0.5)
+        assert grid.fraction_covered_by([]) == 0.0
+
+    def test_fraction_covered_by_empty_grid(self):
+        assert RuleGrid.empty(2, 2).fraction_covered_by([]) == 1.0

@@ -1,0 +1,102 @@
+"""Unit tests for CSV round trips and streaming ingestion."""
+
+import pytest
+
+from repro.data.io import read_csv, stream_csv, write_csv
+from repro.data.schema import Table, categorical, quantitative
+
+SPECS = [
+    quantitative("age", 20, 80),
+    quantitative("salary", 20_000, 150_000),
+    categorical("group", ("A", "other")),
+]
+
+
+@pytest.fixture()
+def sample_table():
+    return Table.from_columns(SPECS, {
+        "age": [25.0, 45.5, 70.0],
+        "salary": [60_000.0, 90_000.0, 40_000.0],
+        "group": ["A", "other", "A"],
+    })
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, sample_table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(sample_table, path)
+        loaded = read_csv(path, SPECS)
+        assert len(loaded) == 3
+        assert list(loaded.column("age")) == [25.0, 45.5, 70.0]
+        assert list(loaded.column("group")) == ["A", "other", "A"]
+
+    def test_header_order_independent(self, sample_table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(sample_table.select(["group", "age", "salary"]), path)
+        loaded = read_csv(path, SPECS)
+        assert list(loaded.column("salary")) == [
+            60_000.0, 90_000.0, 40_000.0
+        ]
+
+    def test_empty_table_round_trip(self, tmp_path):
+        empty = Table.from_columns(
+            SPECS, {"age": [], "salary": [], "group": []}
+        )
+        path = tmp_path / "empty.csv"
+        write_csv(empty, path)
+        loaded = read_csv(path, SPECS)
+        assert len(loaded) == 0
+
+
+class TestStreaming:
+    def test_chunked_reading(self, sample_table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(sample_table, path)
+        chunks = list(stream_csv(path, SPECS, chunk_rows=2))
+        assert [len(chunk) for chunk in chunks] == [2, 1]
+
+    def test_chunks_recombine_to_original(self, sample_table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(sample_table, path)
+        chunks = list(stream_csv(path, SPECS, chunk_rows=1))
+        combined = chunks[0]
+        for chunk in chunks[1:]:
+            combined = combined.concat(chunk)
+        assert list(combined.column("age")) == list(
+            sample_table.column("age")
+        )
+
+    def test_rejects_nonpositive_chunk(self, sample_table, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(sample_table, path)
+        with pytest.raises(ValueError):
+            list(stream_csv(path, SPECS, chunk_rows=0))
+
+    def test_header_mismatch_detected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("age,wrong\n25,1\n")
+        with pytest.raises(ValueError, match="header mismatch"):
+            list(stream_csv(path, SPECS))
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "nothing.csv"
+        path.write_text("")
+        assert list(stream_csv(path, SPECS)) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("age,salary,group\n25,50000,A\n\n30,60000,other\n")
+        chunks = list(stream_csv(path, SPECS))
+        assert sum(len(chunk) for chunk in chunks) == 2
+
+    def test_ragged_row_reported_with_line_number(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("age,salary,group\n25,50000,A\n30,60000\n")
+        with pytest.raises(ValueError, match="line 3"):
+            list(stream_csv(path, SPECS))
+
+    def test_non_numeric_value_reported(self, tmp_path):
+        path = tmp_path / "badnum.csv"
+        path.write_text("age,salary,group\ntwenty,50000,A\n")
+        with pytest.raises(ValueError, match="not a number"):
+            list(stream_csv(path, SPECS))

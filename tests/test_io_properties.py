@@ -1,0 +1,99 @@
+"""Property-based round-trip tests for CSV I/O and persistence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.io import read_csv, stream_csv, write_csv
+from repro.data.schema import Table, categorical, quantitative
+
+# Categorical values that survive CSV round trips (csv handles quoting,
+# but values come back as strings, so generate strings; commas and
+# quotes are fair game).
+category_values = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"),
+        whitelist_characters=" ,_-'\"",
+    ),
+    min_size=1, max_size=12,
+).map(str.strip).filter(bool)
+
+SPECS = [
+    quantitative("x"),
+    quantitative("y"),
+    categorical("label"),
+]
+
+
+@st.composite
+def tables(draw, max_rows=30):
+    n = draw(st.integers(1, max_rows))
+    xs = draw(st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=n, max_size=n
+    ))
+    ys = draw(st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=n, max_size=n
+    ))
+    labels = draw(st.lists(category_values, min_size=n, max_size=n))
+    return Table.from_columns(
+        SPECS, {"x": xs, "y": ys, "label": labels}
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(tables())
+def test_csv_round_trip_preserves_rows(tmp_path_factory, table):
+    path = tmp_path_factory.mktemp("io") / "t.csv"
+    write_csv(table, path)
+    loaded = read_csv(path, SPECS)
+    assert len(loaded) == len(table)
+    assert np.allclose(loaded.column("x"), table.column("x"),
+                       rtol=1e-12, atol=0)
+    assert list(loaded.column("label")) == [
+        str(value) for value in table.column("label")
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(tables(), st.integers(1, 7))
+def test_streamed_chunks_concat_to_whole_file(tmp_path_factory, table,
+                                              chunk_rows):
+    path = tmp_path_factory.mktemp("io") / "t.csv"
+    write_csv(table, path)
+    chunks = list(stream_csv(path, SPECS, chunk_rows=chunk_rows))
+    assert sum(len(chunk) for chunk in chunks) == len(table)
+    assert all(len(chunk) <= chunk_rows for chunk in chunks)
+    combined = chunks[0]
+    for chunk in chunks[1:]:
+        combined = combined.concat(chunk)
+    whole = read_csv(path, SPECS)
+    assert np.allclose(combined.column("y"), whole.column("y"),
+                       rtol=1e-12, atol=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tables())
+def test_segmentation_membership_survives_json(tmp_path_factory, table):
+    """Persisted segmentations classify points identically."""
+    from repro.core.rules import ClusteredRule, Interval
+    from repro.core.segmentation import Segmentation
+    from repro.persistence import load_segmentation, save_segmentation
+
+    xs = table.column("x")
+    ys = table.column("y")
+    x_lo, x_hi = float(xs.min()), float(xs.max()) + 1.0
+    y_lo, y_hi = float(ys.min()), float(ys.max()) + 1.0
+    segmentation = Segmentation.from_rules([
+        ClusteredRule(
+            "x", "y",
+            Interval(x_lo, (x_lo + x_hi) / 2 + 1e-9),
+            Interval(y_lo, y_hi),
+            "label", "A", support=0.5, confidence=0.9,
+        )
+    ])
+    path = tmp_path_factory.mktemp("io") / "seg.json"
+    save_segmentation(segmentation, path)
+    loaded = load_segmentation(path)
+    assert np.array_equal(
+        segmentation.covers(xs, ys), loaded.covers(xs, ys)
+    )

@@ -1,0 +1,74 @@
+"""Unit tests for MDL scoring (paper Section 3.6)."""
+
+import math
+
+import pytest
+
+from repro.core.mdl import MDLWeights, mdl_cost
+
+
+class TestMdlCost:
+    def test_basic_value(self):
+        # 3 clusters, 7 errors: log2(4) + log2(8) = 2 + 3.
+        assert mdl_cost(3, 7) == pytest.approx(5.0)
+
+    def test_empty_segmentation_is_infinite(self):
+        assert mdl_cost(0, 0) == math.inf
+        assert mdl_cost(0, 100) == math.inf
+
+    def test_zero_errors_finite(self):
+        assert mdl_cost(1, 0) == pytest.approx(1.0)  # log2(2)
+
+    def test_monotone_in_clusters(self):
+        assert mdl_cost(5, 10) > mdl_cost(3, 10)
+
+    def test_monotone_in_errors(self):
+        assert mdl_cost(3, 20) > mdl_cost(3, 10)
+
+    def test_logarithmic_separation(self):
+        """Doubling clusters costs ~1 extra bit, not double the cost."""
+        few = mdl_cost(4, 0)
+        many = mdl_cost(8, 0)
+        assert many - few < few
+
+    def test_cluster_weight_bias(self):
+        """Large w_c penalises many-cluster segmentations harder."""
+        few = mdl_cost(3, 50, cluster_weight=10.0)
+        many = mdl_cost(30, 10, cluster_weight=10.0)
+        assert few < many
+
+    def test_error_weight_bias(self):
+        low_error = mdl_cost(30, 10, error_weight=10.0)
+        high_error = mdl_cost(3, 50, error_weight=10.0)
+        assert low_error < high_error
+
+    def test_fractional_errors_accepted(self):
+        """The verifier averages over repeats, so errors may be
+        fractional."""
+        assert mdl_cost(3, 7.5) > mdl_cost(3, 7.0)
+
+    @pytest.mark.parametrize("clusters,errors", [(-1, 0), (1, -2)])
+    def test_rejects_negative_inputs(self, clusters, errors):
+        with pytest.raises(ValueError):
+            mdl_cost(clusters, errors)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            mdl_cost(1, 1, cluster_weight=-1)
+
+
+class TestMDLWeights:
+    def test_default_is_unbiased(self):
+        weights = MDLWeights()
+        assert weights.cluster_weight == 1.0
+        assert weights.error_weight == 1.0
+
+    def test_cost_delegates(self):
+        weights = MDLWeights(cluster_weight=2.0, error_weight=3.0)
+        assert weights.cost(3, 7) == pytest.approx(
+            2.0 * math.log2(4) + 3.0 * math.log2(8)
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MDLWeights(cluster_weight=-0.5)

@@ -1,0 +1,67 @@
+"""Unit tests for the shared error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.metrics import (
+    classification_error,
+    error_rate,
+    segmentation_error_counts,
+)
+from repro.data.schema import Table, categorical, quantitative
+
+
+class TestSegmentationErrorCounts:
+    def test_confusion_quadrants(self):
+        predicted = np.array([True, True, False, False])
+        actual = np.array([True, False, True, False])
+        fp, fn = segmentation_error_counts(predicted, actual)
+        assert (fp, fn) == (1, 1)
+
+    def test_perfect(self):
+        mask = np.array([True, False])
+        assert segmentation_error_counts(mask, mask) == (0, 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            segmentation_error_counts(
+                np.array([True]), np.array([True, False])
+            )
+
+
+class TestErrorRate:
+    def test_rate(self):
+        predicted = np.array([True, True, False, False])
+        actual = np.array([True, False, True, False])
+        assert error_rate(predicted, actual) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_rate(np.array([], dtype=bool), np.array([], dtype=bool))
+
+
+class TestClassificationError:
+    def test_one_vs_rest_projection(self):
+        table = Table.from_columns(
+            [quantitative("x"), categorical("group", ("A", "B", "C"))],
+            {"x": [1, 2, 3], "group": ["A", "B", "C"]},
+        )
+        predicted = np.array(["A", "A", "C"], dtype=object)
+        # vs target A: row0 correct, row1 FP, row2 projected correct
+        # (C vs C both map to "not A").
+        assert classification_error(
+            predicted, table, "group", "A"
+        ) == pytest.approx(1 / 3)
+
+    def test_matches_error_rate_for_binary(self, f2_clean_table):
+        sample = f2_clean_table.head(500)
+        predicted = np.array(["A"] * 500, dtype=object)
+        via_classifier = classification_error(
+            predicted, sample, "group", "A"
+        )
+        actual = np.asarray(
+            [label == "A" for label in sample.column("group")]
+        )
+        assert via_classifier == pytest.approx(
+            error_rate(np.ones(500, dtype=bool), actual)
+        )

@@ -1,0 +1,244 @@
+"""Unit tests for multi-attribute cluster combination (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import ClusteredRule, Interval
+from repro.core.segmentation import Segmentation
+from repro.data.schema import Table, categorical, quantitative
+from repro.extensions.multidim import (
+    MultiDimRule,
+    combine_segmentations,
+    fit_multidim,
+)
+
+
+def make_3d_table(n=6000, seed=0):
+    """Group A is a 3-D box in (age, salary, loan)."""
+    rng = np.random.default_rng(seed)
+    age = rng.uniform(20, 80, n)
+    salary = rng.uniform(20_000, 150_000, n)
+    loan = rng.uniform(0, 500_000, n)
+    in_box = (
+        (age >= 30) & (age < 50)
+        & (salary >= 50_000) & (salary < 100_000)
+        & (loan >= 100_000) & (loan < 300_000)
+    )
+    labels = np.where(in_box, "A", "other")
+    return Table.from_columns(
+        [quantitative("age", 20, 80),
+         quantitative("salary", 20_000, 150_000),
+         quantitative("loan", 0, 500_000),
+         categorical("group", ("A", "other"))],
+        {"age": age, "salary": salary, "loan": loan,
+         "group": labels.tolist()},
+    )
+
+
+def seg(x_attr, x_lo, x_hi, y_attr, y_lo, y_hi, confidence=0.9):
+    rule = ClusteredRule(
+        x_attr, y_attr, Interval(x_lo, x_hi), Interval(y_lo, y_hi),
+        "group", "A", support=0.05, confidence=confidence,
+    )
+    return Segmentation.from_rules([rule])
+
+
+class TestMultiDimRule:
+    def test_matches_requires_all_intervals(self, tiny_table):
+        rule = MultiDimRule(
+            intervals={
+                "age": Interval(20, 40),
+                "salary": Interval(50_000, 100_000),
+            },
+            rhs_attribute="group", rhs_value="A",
+            support=0.1, confidence=0.9,
+        )
+        got = rule.matches(tiny_table)
+        expected = (
+            (tiny_table.column("age") >= 20)
+            & (tiny_table.column("age") < 40)
+            & (tiny_table.column("salary") >= 50_000)
+            & (tiny_table.column("salary") < 100_000)
+        )
+        assert (got == expected).all()
+
+    def test_attributes_sorted(self):
+        rule = MultiDimRule(
+            intervals={"b": Interval(0, 1), "a": Interval(0, 1)},
+            rhs_attribute="group", rhs_value="A",
+            support=0.1, confidence=0.9,
+        )
+        assert rule.attributes == ("a", "b")
+
+    def test_rejects_empty_intervals(self):
+        with pytest.raises(ValueError):
+            MultiDimRule({}, "group", "A", 0.1, 0.9)
+
+    def test_str_renders_all_conjuncts(self):
+        rule = MultiDimRule(
+            intervals={"age": Interval(30, 50),
+                       "loan": Interval(0, 100)},
+            rhs_attribute="group", rhs_value="A",
+            support=0.1, confidence=0.9,
+        )
+        assert "age" in str(rule) and "loan" in str(rule)
+
+
+class TestCombineSegmentations:
+    def test_recovers_3d_box(self):
+        table = make_3d_table()
+        seg_ab = seg("age", 30, 50, "salary", 50_000, 100_000)
+        seg_bc = seg("salary", 50_000, 100_000, "loan", 100_000, 300_000)
+        combined = combine_segmentations(
+            seg_ab, seg_bc, table, min_support=0.01, min_confidence=0.8
+        )
+        assert len(combined) == 1
+        box = combined[0]
+        assert box.attributes == ("age", "loan", "salary")
+        assert box.confidence > 0.95
+
+    def test_shared_interval_intersected(self):
+        table = make_3d_table()
+        seg_ab = seg("age", 30, 50, "salary", 40_000, 100_000)
+        seg_bc = seg("salary", 50_000, 120_000, "loan", 100_000, 300_000)
+        combined = combine_segmentations(
+            seg_ab, seg_bc, table, min_support=0.005, min_confidence=0.5
+        )
+        assert combined
+        salary = combined[0].intervals["salary"]
+        assert salary.low == 50_000 and salary.high == 100_000
+
+    def test_disjoint_shared_intervals_produce_nothing(self):
+        table = make_3d_table()
+        seg_ab = seg("age", 30, 50, "salary", 20_000, 40_000)
+        seg_bc = seg("salary", 100_000, 150_000, "loan", 0, 300_000)
+        assert combine_segmentations(
+            seg_ab, seg_bc, table, 0.0, 0.0
+        ) == []
+
+    def test_verification_filters_sparse_boxes(self):
+        """Two projections can overlap on B while the 3-D box is empty —
+        verification must catch that."""
+        rng = np.random.default_rng(1)
+        n = 4000
+        age = rng.uniform(0, 10, n)
+        salary = rng.uniform(0, 10, n)
+        loan = rng.uniform(0, 10, n)
+        # Group A occupies two separate 3-D corners whose (age,salary)
+        # and (salary,loan) projections overlap in salary 4..6.
+        corner1 = (age < 3) & (salary > 4) & (salary < 6) & (loan < 3)
+        corner2 = (age > 7) & (salary > 4) & (salary < 6) & (loan > 7)
+        labels = np.where(corner1 | corner2, "A", "other")
+        table = Table.from_columns(
+            [quantitative("age", 0, 10), quantitative("salary", 0, 10),
+             quantitative("loan", 0, 10),
+             categorical("group", ("A", "other"))],
+            {"age": age, "salary": salary, "loan": loan,
+             "group": labels.tolist()},
+        )
+        # Projections that mix the corners: age from corner1, loan from
+        # corner2 -> the combined box contains no A tuples.
+        seg_ab = seg("age", 0, 3, "salary", 4, 6)
+        seg_bc = seg("salary", 4, 6, "loan", 7, 10)
+        combined = combine_segmentations(
+            seg_ab, seg_bc, table, min_support=0.001, min_confidence=0.5
+        )
+        assert combined == []
+
+    def test_mismatched_criteria_rejected(self):
+        table = make_3d_table()
+        seg_ab = seg("age", 30, 50, "salary", 50_000, 100_000)
+        other_rule = ClusteredRule(
+            "salary", "loan", Interval(0, 1), Interval(0, 1),
+            "group", "other", support=0.1, confidence=0.9,
+        )
+        seg_bc = Segmentation.from_rules([other_rule])
+        with pytest.raises(ValueError, match="different criteria"):
+            combine_segmentations(seg_ab, seg_bc, table, 0.0, 0.0)
+
+    def test_no_shared_attribute_rejected(self):
+        table = make_3d_table()
+        seg_ab = seg("age", 30, 50, "salary", 50_000, 100_000)
+        hvalue_rule = ClusteredRule(
+            "hyears", "loan", Interval(0, 1), Interval(0, 1),
+            "group", "A", support=0.1, confidence=0.9,
+        )
+        seg_cd = Segmentation.from_rules([hvalue_rule])
+        with pytest.raises(ValueError, match="share no attribute"):
+            combine_segmentations(seg_ab, seg_cd, table, 0.0, 0.0)
+
+    def test_chaining_multidim_rules(self):
+        """combine() accepts its own output, growing the attribute set."""
+        table = make_3d_table()
+        seg_ab = seg("age", 30, 50, "salary", 50_000, 100_000)
+        seg_bc = seg("salary", 50_000, 100_000, "loan", 100_000, 300_000)
+        three = combine_segmentations(seg_ab, seg_bc, table, 0.01, 0.5)
+        again = combine_segmentations(
+            three, seg_ab, table, min_support=0.01, min_confidence=0.5
+        )
+        assert again
+        assert again[0].attributes == ("age", "loan", "salary")
+
+
+class TestFitMultidim:
+    def make_wide_box_table(self, n=20_000, seed=4):
+        """A 3-D box wide in every dimension so 2-D projections stay
+        confident enough for ARCS to cluster."""
+        rng = np.random.default_rng(seed)
+        age = rng.uniform(20, 80, n)
+        salary = rng.uniform(20_000, 150_000, n)
+        loan = rng.uniform(0, 500_000, n)
+        in_box = (
+            (age >= 25) & (age < 65)
+            & (salary >= 40_000) & (salary < 120_000)
+            & (loan >= 50_000) & (loan < 450_000)
+        )
+        labels = np.where(in_box, "A", "other")
+        return Table.from_columns(
+            [quantitative("age", 20, 80),
+             quantitative("salary", 20_000, 150_000),
+             quantitative("loan", 0, 500_000),
+             categorical("group", ("A", "other"))],
+            {"age": age, "salary": salary, "loan": loan,
+             "group": labels.tolist()},
+        )
+
+    def test_recovers_planted_box_end_to_end(self):
+        from repro.core.arcs import ARCSConfig
+        from repro.core.optimizer import OptimizerConfig
+
+        table = self.make_wide_box_table()
+        boxes = fit_multidim(
+            table, ["age", "salary", "loan"], "group", "A",
+            min_support=0.05, min_confidence=0.8,
+            arcs_config=ARCSConfig(
+                optimizer=OptimizerConfig(max_support_levels=6,
+                                          max_confidence_levels=8),
+            ),
+        )
+        assert boxes
+        best = max(boxes, key=lambda box: box.support)
+        assert best.attributes == ("age", "loan", "salary")
+        assert best.confidence > 0.85
+        assert abs(best.intervals["age"].low - 25) < 6
+        assert abs(best.intervals["salary"].high - 120_000) < 15_000
+
+    def test_two_attributes_degenerates_to_plain_arcs(self):
+        from repro.core.arcs import ARCSConfig
+        from repro.core.optimizer import OptimizerConfig
+
+        table = self.make_wide_box_table(n=10_000)
+        boxes = fit_multidim(
+            table, ["age", "salary"], "group", "A",
+            arcs_config=ARCSConfig(
+                optimizer=OptimizerConfig(max_support_levels=5,
+                                          max_confidence_levels=5),
+            ),
+        )
+        assert boxes
+        assert boxes[0].attributes == ("age", "salary")
+
+    def test_rejects_single_attribute(self):
+        table = self.make_wide_box_table(n=1_000)
+        with pytest.raises(ValueError):
+            fit_multidim(table, ["age"], "group", "A")

@@ -1,0 +1,128 @@
+"""Unit tests for segmentation and BinArray persistence."""
+
+import numpy as np
+import pytest
+
+from repro.binning import bin_table
+from repro.core.rules import ClusteredRule, GridRect, Interval
+from repro.core.segmentation import Segmentation
+from repro.mining.engine import rule_pairs
+from repro.persistence import (
+    PersistenceError,
+    load_bin_array,
+    load_segmentation,
+    save_bin_array,
+    save_segmentation,
+)
+
+
+@pytest.fixture()
+def segmentation():
+    rules = [
+        ClusteredRule(
+            "age", "salary", Interval(20, 40),
+            Interval(50_000, 100_000, closed_high=True),
+            "group", "A", support=0.12, confidence=0.93,
+            rect=GridRect(0, 9, 10, 29),
+        ),
+        ClusteredRule(
+            "age", "salary", Interval(60, 80), Interval(25_000, 75_000),
+            "group", "A", support=0.10, confidence=0.91,
+        ),
+    ]
+    return Segmentation.from_rules(rules)
+
+
+class TestSegmentationRoundTrip:
+    def test_round_trip_preserves_rules(self, segmentation, tmp_path):
+        path = tmp_path / "seg.json"
+        save_segmentation(segmentation, path)
+        loaded = load_segmentation(path)
+        assert len(loaded) == 2
+        assert loaded.x_attribute == "age"
+        assert loaded.rhs_value == "A"
+        original = segmentation.rules[0]
+        restored = loaded.rules[0]
+        assert restored.x_interval == original.x_interval
+        assert restored.y_interval.closed_high
+        assert restored.support == original.support
+        assert restored.rect == original.rect
+
+    def test_rect_optional(self, segmentation, tmp_path):
+        path = tmp_path / "seg.json"
+        save_segmentation(segmentation, path)
+        loaded = load_segmentation(path)
+        assert loaded.rules[1].rect is None
+
+    def test_membership_identical_after_round_trip(self, segmentation,
+                                                   tmp_path):
+        path = tmp_path / "seg.json"
+        save_segmentation(segmentation, path)
+        loaded = load_segmentation(path)
+        xs = np.linspace(15, 85, 71)
+        ys = np.linspace(20_000, 150_000, 71)
+        assert np.array_equal(
+            segmentation.covers(xs, ys), loaded.covers(xs, ys)
+        )
+
+    def test_empty_segmentation_round_trip(self, tmp_path):
+        empty = Segmentation(
+            rules=(), x_attribute="age", y_attribute="salary",
+            rhs_attribute="group", rhs_value="A",
+        )
+        path = tmp_path / "empty.json"
+        save_segmentation(empty, path)
+        assert load_segmentation(path).is_empty
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(PersistenceError):
+            load_segmentation(path)
+
+
+class TestBinArrayRoundTrip:
+    def test_round_trip_preserves_counts(self, f2_binner, tmp_path):
+        path = tmp_path / "bins.npz"
+        save_bin_array(f2_binner.bin_array, path)
+        loaded = load_bin_array(path)
+        assert np.array_equal(loaded.counts, f2_binner.bin_array.counts)
+        assert np.array_equal(loaded.totals, f2_binner.bin_array.totals)
+        assert loaded.n_total == f2_binner.bin_array.n_total
+        assert loaded.rhs_encoding.values == ("A", "other")
+
+    def test_remining_from_loaded_array_matches(self, f2_binner,
+                                                tmp_path):
+        """The cross-process re-mining workflow: identical rule cells."""
+        path = tmp_path / "bins.npz"
+        save_bin_array(f2_binner.bin_array, path)
+        loaded = load_bin_array(path)
+        original_pairs = rule_pairs(f2_binner.bin_array, 0, 0.001, 0.7)
+        loaded_pairs = rule_pairs(loaded, 0, 0.001, 0.7)
+        assert original_pairs == loaded_pairs
+
+    def test_layouts_survive(self, f2_binner, tmp_path):
+        path = tmp_path / "bins.npz"
+        save_bin_array(f2_binner.bin_array, path)
+        loaded = load_bin_array(path)
+        assert loaded.x_layout.attribute == "age"
+        assert np.allclose(
+            loaded.x_layout.edges, f2_binner.bin_array.x_layout.edges
+        )
+
+    def test_single_target_mode_survives(self, f2_clean_table, tmp_path):
+        binner = bin_table(
+            f2_clean_table, "age", "salary", "group", 10, 10,
+            target_value="A",
+        )
+        path = tmp_path / "single.npz"
+        save_bin_array(binner.bin_array, path)
+        loaded = load_bin_array(path)
+        assert loaded.single_target
+        assert loaded.target_code == 0
+
+    def test_rejects_non_binarray_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(PersistenceError):
+            load_bin_array(path)

@@ -1,0 +1,100 @@
+"""Unit tests for the perturbation and outlier models."""
+
+import numpy as np
+import pytest
+
+from repro.data.perturbation import inject_outliers, perturb_quantitative
+from repro.data.schema import Table, quantitative
+
+
+@pytest.fixture()
+def simple_table():
+    return Table.from_columns(
+        [quantitative("x", 0, 100), quantitative("y", 0, 10)],
+        {"x": [10.0, 50.0, 90.0], "y": [1.0, 5.0, 9.0]},
+    )
+
+
+class TestPerturbQuantitative:
+    def test_zero_factor_is_identity_shape(self, simple_table, fresh_rng):
+        out = perturb_quantitative(simple_table, ["x"], 0.0, fresh_rng)
+        assert np.allclose(out.column("x"), simple_table.column("x"))
+
+    def test_bounded_by_factor_times_width(self, simple_table, fresh_rng):
+        out = perturb_quantitative(simple_table, ["x"], 0.05, fresh_rng)
+        deltas = np.abs(out.column("x") - simple_table.column("x"))
+        assert (deltas <= 0.05 * 100 + 1e-9).all()
+
+    def test_values_clipped_to_domain(self, fresh_rng):
+        table = Table.from_columns(
+            [quantitative("x", 0, 100)], {"x": [0.0, 100.0] * 50}
+        )
+        out = perturb_quantitative(table, ["x"], 0.3, fresh_rng)
+        assert out.column("x").min() >= 0.0
+        assert out.column("x").max() <= 100.0
+
+    def test_untouched_columns_preserved(self, simple_table, fresh_rng):
+        out = perturb_quantitative(simple_table, ["x"], 0.1, fresh_rng)
+        assert np.array_equal(out.column("y"), simple_table.column("y"))
+
+    def test_original_table_unmodified(self, simple_table, fresh_rng):
+        before = simple_table.column("x").copy()
+        perturb_quantitative(simple_table, ["x"], 0.2, fresh_rng)
+        assert np.array_equal(simple_table.column("x"), before)
+
+    def test_rejects_categorical(self, fresh_rng):
+        from repro.data.schema import categorical
+        table = Table.from_columns(
+            [categorical("c")], {"c": ["a", "b"]}
+        )
+        with pytest.raises(ValueError):
+            perturb_quantitative(table, ["c"], 0.1, fresh_rng)
+
+    def test_rejects_bad_factor(self, simple_table, fresh_rng):
+        with pytest.raises(ValueError):
+            perturb_quantitative(simple_table, ["x"], 1.5, fresh_rng)
+
+
+class TestInjectOutliers:
+    def test_exact_fraction(self, fresh_rng):
+        labels = np.array(["A"] * 600 + ["other"] * 400, dtype=object)
+        flipped = inject_outliers(labels, 0.10, fresh_rng)
+        assert int(np.sum(labels != flipped)) == 100
+
+    def test_zero_fraction_is_identity(self, fresh_rng):
+        labels = np.array(["A", "other"], dtype=object)
+        flipped = inject_outliers(labels, 0.0, fresh_rng)
+        assert (labels == flipped).all()
+
+    def test_flipped_labels_are_valid_groups(self, fresh_rng):
+        labels = np.array(["A"] * 100, dtype=object)
+        flipped = inject_outliers(labels, 0.5, fresh_rng)
+        assert set(flipped) <= {"A", "other"}
+        assert int(np.sum(flipped == "other")) == 50
+
+    def test_multi_group_flips_to_different_group(self, fresh_rng):
+        labels = np.array(["a"] * 200, dtype=object)
+        flipped = inject_outliers(
+            labels, 0.3, fresh_rng, groups=("a", "b", "c")
+        )
+        changed = flipped[labels != flipped]
+        assert len(changed) == 60
+        assert set(changed) <= {"b", "c"}
+
+    def test_input_not_mutated(self, fresh_rng):
+        labels = np.array(["A"] * 50, dtype=object)
+        inject_outliers(labels, 0.2, fresh_rng)
+        assert (labels == "A").all()
+
+    def test_rejects_single_group(self, fresh_rng):
+        with pytest.raises(ValueError):
+            inject_outliers(
+                np.array(["A"], dtype=object), 0.1, fresh_rng,
+                groups=("A",),
+            )
+
+    def test_rejects_bad_fraction(self, fresh_rng):
+        with pytest.raises(ValueError):
+            inject_outliers(
+                np.array(["A", "B"], dtype=object), 1.0, fresh_rng
+            )

@@ -1,0 +1,61 @@
+"""Unit tests for dynamic cluster pruning (paper Section 3.5)."""
+
+import pytest
+
+from repro.core.pruning import min_cells_for, prune_clusters
+from repro.core.rules import GridRect
+
+
+class TestMinCellsFor:
+    def test_paper_default_on_50x50(self):
+        assert min_cells_for((50, 50), 0.01) == 25
+
+    def test_never_below_one(self):
+        assert min_cells_for((5, 5), 0.01) == 1
+
+    def test_zero_fraction(self):
+        assert min_cells_for((100, 100), 0.0) == 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            min_cells_for((10, 10), 1.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            min_cells_for((0, 10), 0.01)
+
+
+class TestPruneClusters:
+    def test_small_clusters_dropped(self):
+        big = GridRect(0, 9, 0, 9)       # 100 cells
+        small = GridRect(20, 20, 20, 20)  # 1 cell
+        report = prune_clusters([big, small], (50, 50), fraction=0.01)
+        assert report.kept == (big,)
+        assert report.dropped == (small,)
+        assert report.n_pruned == 1
+
+    def test_all_large_means_no_pruning(self):
+        clusters = [GridRect(0, 9, 0, 9), GridRect(20, 29, 20, 29)]
+        report = prune_clusters(clusters, (50, 50), fraction=0.01)
+        assert report.kept == tuple(clusters)
+        assert report.n_pruned == 0
+
+    def test_boundary_cluster_exactly_at_threshold_kept(self):
+        exact = GridRect(0, 4, 0, 4)  # 25 cells == 1% of 50x50
+        report = prune_clusters([exact], (50, 50), fraction=0.01)
+        assert report.kept == (exact,)
+
+    def test_order_preserved(self):
+        first = GridRect(0, 9, 0, 9)
+        second = GridRect(10, 19, 10, 19)
+        report = prune_clusters([first, second], (50, 50))
+        assert report.kept == (first, second)
+
+    def test_empty_input(self):
+        report = prune_clusters([], (50, 50))
+        assert report.kept == ()
+        assert report.dropped == ()
+
+    def test_min_cells_recorded(self):
+        report = prune_clusters([], (50, 50), fraction=0.02)
+        assert report.min_cells == 50

@@ -1,0 +1,65 @@
+"""Unit tests for the consolidated evaluation report."""
+
+import pytest
+
+import repro
+from repro.analysis.report import evaluation_report
+from repro.core.arcs import ARCS, ARCSConfig
+from repro.core.optimizer import OptimizerConfig
+from repro.data.functions import true_regions
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    table = repro.generate_synthetic(
+        repro.SyntheticConfig(n_tuples=10_000, seed=77)
+    )
+    config = ARCSConfig(
+        n_bins_x=30, n_bins_y=30,
+        optimizer=OptimizerConfig(max_support_levels=4,
+                                  max_confidence_levels=4),
+    )
+    return table, ARCS(config).fit(table, "age", "salary", "group", "A")
+
+
+class TestEvaluationReport:
+    def test_minimal_report(self, fitted):
+        _, result = fitted
+        text = evaluation_report(result, include_history=False)
+        assert "group = A" in text
+        assert "winning thresholds" in text
+        assert "verifier estimate" in text
+        assert "optimizer transcript" not in text
+
+    def test_history_included_by_default(self, fitted):
+        _, result = fitted
+        text = evaluation_report(result)
+        assert "optimizer transcript" in text
+        assert f"({len(result.history)} trials)" in text
+
+    def test_noise_decomposition_section(self, fitted):
+        table, result = fitted
+        text = evaluation_report(result, table=table, function_id=2)
+        assert "noise decomposition" in text
+        assert "floor" in text
+
+    def test_region_accuracy_section(self, fitted):
+        _, result = fitted
+        text = evaluation_report(
+            result,
+            true_regions=true_regions(2),
+            x_range=(20, 80), y_range=(20_000, 150_000),
+        )
+        assert "exact region accuracy" in text
+        assert "Jaccard" in text
+
+    def test_full_report_composes_all_sections(self, fitted):
+        table, result = fitted
+        text = evaluation_report(
+            result, table=table, function_id=2,
+            true_regions=true_regions(2),
+            x_range=(20, 80), y_range=(20_000, 150_000),
+        )
+        for fragment in ("noise decomposition", "exact region accuracy",
+                         "optimizer transcript", "MDL cost"):
+            assert fragment in text

@@ -1,0 +1,220 @@
+"""Unit tests for the attribute/table model."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    AttributeSpec,
+    SchemaError,
+    Table,
+    categorical,
+    quantitative,
+)
+
+
+class TestAttributeSpec:
+    def test_quantitative_constructor(self):
+        spec = quantitative("age", 20, 80)
+        assert spec.is_quantitative
+        assert not spec.is_categorical
+        assert spec.quantitative_range() == (20.0, 80.0)
+
+    def test_quantitative_without_domain(self):
+        spec = quantitative("age")
+        assert spec.domain is None
+        assert spec.quantitative_range() is None
+
+    def test_categorical_constructor(self):
+        spec = categorical("group", ("A", "B"))
+        assert spec.is_categorical
+        assert spec.domain == ("A", "B")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "ordinal")
+
+    def test_rejects_empty_quantitative_domain(self):
+        with pytest.raises(SchemaError):
+            quantitative("x", 5, 5)
+
+    def test_rejects_inverted_domain(self):
+        with pytest.raises(SchemaError):
+            quantitative("x", 10, 1)
+
+    def test_rejects_bad_domain_arity(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "quantitative", (1, 2, 3))
+
+    def test_rejects_empty_categorical_domain(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "categorical", ())
+
+
+class TestTableConstruction:
+    def test_from_columns(self):
+        table = Table.from_columns(
+            [quantitative("a"), categorical("b")],
+            {"a": [1, 2, 3], "b": ["x", "y", "x"]},
+        )
+        assert len(table) == 3
+        assert table.attribute_names == ["a", "b"]
+
+    def test_quantitative_columns_are_float64(self):
+        table = Table.from_columns(
+            [quantitative("a")], {"a": [1, 2, 3]}
+        )
+        assert table.column("a").dtype == np.float64
+
+    def test_categorical_columns_are_object(self):
+        table = Table.from_columns(
+            [categorical("b")], {"b": ["x", "y"]}
+        )
+        assert table.column("b").dtype == object
+
+    def test_from_rows(self):
+        table = Table.from_rows(
+            [quantitative("a"), categorical("b")],
+            [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}],
+        )
+        assert len(table) == 2
+        assert list(table.column("a")) == [1.0, 2.0]
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns([quantitative("a")], {})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns(
+                [quantitative("a"), quantitative("a")], {"a": [1]}
+            )
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns(
+                [quantitative("a"), quantitative("b")],
+                {"a": [1, 2], "b": [1]},
+            )
+
+    def test_empty_table(self):
+        table = Table.from_columns([quantitative("a")], {"a": []})
+        assert len(table) == 0
+
+
+class TestTableAccess:
+    def test_unknown_attribute_raises(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.column("nope")
+
+    def test_observed_range_prefers_declared_domain(self, tiny_table):
+        # Data spans 25..75 but the declared domain is 20..80.
+        assert tiny_table.observed_range("age") == (20.0, 80.0)
+
+    def test_observed_range_falls_back_to_data(self):
+        table = Table.from_columns(
+            [quantitative("a")], {"a": [3, 1, 2]}
+        )
+        assert table.observed_range("a") == (1.0, 3.0)
+
+    def test_observed_range_rejects_categorical(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.observed_range("group")
+
+    def test_observed_range_rejects_empty(self):
+        table = Table.from_columns([quantitative("a")], {"a": []})
+        with pytest.raises(SchemaError):
+            table.observed_range("a")
+
+    def test_categorical_values_declared(self, tiny_table):
+        assert tiny_table.categorical_values("group") == ("A", "other")
+
+    def test_categorical_values_observed(self):
+        table = Table.from_columns(
+            [categorical("b")], {"b": ["y", "x", "y"]}
+        )
+        assert table.categorical_values("b") == ("x", "y")
+
+    def test_categorical_values_rejects_quantitative(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.categorical_values("age")
+
+
+class TestTableRowOperations:
+    def test_take(self, tiny_table):
+        sub = tiny_table.take([0, 2, 0])
+        assert len(sub) == 3
+        assert list(sub.column("age")) == [25.0, 35.0, 25.0]
+
+    def test_where(self, tiny_table):
+        mask = tiny_table.column("age") < 40
+        sub = tiny_table.where(mask)
+        assert len(sub) == 3
+        assert all(sub.column("age") < 40)
+
+    def test_where_shape_mismatch(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.where(np.array([True, False]))
+
+    def test_head(self, tiny_table):
+        assert len(tiny_table.head(2)) == 2
+        assert len(tiny_table.head(100)) == len(tiny_table)
+
+    def test_sample_without_replacement(self, tiny_table, fresh_rng):
+        sample = tiny_table.sample(6, fresh_rng)
+        assert sorted(sample.column("age")) == sorted(
+            tiny_table.column("age")
+        )
+
+    def test_sample_too_large(self, tiny_table, fresh_rng):
+        with pytest.raises(SchemaError):
+            tiny_table.sample(7, fresh_rng)
+
+    def test_with_column_adds(self, tiny_table):
+        values = [1.0] * len(tiny_table)
+        bigger = tiny_table.with_column(quantitative("ones"), values)
+        assert "ones" in bigger.attribute_names
+        assert "ones" not in tiny_table.attribute_names
+
+    def test_with_column_replaces(self, tiny_table):
+        replaced = tiny_table.with_column(
+            quantitative("age", 0, 200), [0.0] * len(tiny_table)
+        )
+        assert replaced.observed_range("age") == (0.0, 200.0)
+        assert (replaced.column("age") == 0).all()
+
+    def test_with_column_length_mismatch(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.with_column(quantitative("bad"), [1.0])
+
+    def test_select(self, tiny_table):
+        sub = tiny_table.select(["salary", "age"])
+        assert sub.attribute_names == ["salary", "age"]
+
+    def test_concat(self, tiny_table):
+        doubled = tiny_table.concat(tiny_table)
+        assert len(doubled) == 2 * len(tiny_table)
+
+    def test_concat_schema_mismatch(self, tiny_table):
+        other = tiny_table.select(["age"])
+        with pytest.raises(SchemaError):
+            tiny_table.concat(other)
+
+
+class TestStreaming:
+    def test_iter_chunks_covers_all_rows(self, tiny_table):
+        chunks = list(tiny_table.iter_chunks(4))
+        assert [len(chunk) for chunk in chunks] == [4, 2]
+        recombined = chunks[0].concat(chunks[1])
+        assert list(recombined.column("age")) == list(
+            tiny_table.column("age")
+        )
+
+    def test_iter_chunks_rejects_nonpositive(self, tiny_table):
+        with pytest.raises(SchemaError):
+            list(tiny_table.iter_chunks(0))
+
+    def test_iter_rows(self, tiny_table):
+        rows = list(tiny_table.iter_rows())
+        assert len(rows) == len(tiny_table)
+        assert rows[0]["group"] == "A"
+        assert rows[0]["age"] == 25.0

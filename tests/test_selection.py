@@ -1,0 +1,104 @@
+"""Unit tests for attribute selection (entropy and PCA)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.selection import (
+    information_gain,
+    joint_information_gain,
+    principal_components,
+    rank_attribute_pairs,
+)
+from repro.data.schema import Table, categorical, quantitative
+
+
+@pytest.fixture()
+def separable_table(fresh_rng):
+    """x separates groups perfectly; noise carries no signal."""
+    n = 2000
+    x = fresh_rng.uniform(0, 1, n)
+    noise = fresh_rng.uniform(0, 1, n)
+    labels = np.where(x < 0.5, "A", "other")
+    return Table.from_columns(
+        [quantitative("x", 0, 1), quantitative("noise", 0, 1),
+         categorical("group", ("A", "other"))],
+        {"x": x, "noise": noise, "group": labels.tolist()},
+    )
+
+
+class TestInformationGain:
+    def test_informative_beats_noise(self, separable_table):
+        gain_x = information_gain(separable_table, "x", "group")
+        gain_noise = information_gain(separable_table, "noise", "group")
+        assert gain_x > 0.9  # near the full 1 bit
+        assert gain_noise < 0.05
+        assert gain_x > gain_noise
+
+    def test_gain_bounded_by_label_entropy(self, separable_table):
+        gain = information_gain(separable_table, "x", "group")
+        assert gain <= 1.0 + 1e-9
+
+    def test_rejects_bad_bins(self, separable_table):
+        with pytest.raises(ValueError):
+            information_gain(separable_table, "x", "group", n_bins=0)
+
+    def test_function2_prefers_age_and_salary(self, f2_clean_table):
+        informative = information_gain(f2_clean_table, "salary", "group")
+        irrelevant = information_gain(f2_clean_table, "hyears", "group")
+        assert informative > irrelevant
+
+
+class TestJointGainAndRanking:
+    def test_joint_gain_at_least_best_single(self, separable_table):
+        single = information_gain(separable_table, "x", "group")
+        joint = joint_information_gain(
+            separable_table, "x", "noise", "group"
+        )
+        assert joint >= single - 0.02
+
+    def test_ranking_puts_signal_pair_first(self, f2_clean_table):
+        ranked = rank_attribute_pairs(
+            f2_clean_table, ["age", "salary", "hyears", "car"], "group",
+        )
+        top_gain, a, b = ranked[0]
+        assert {a, b} == {"age", "salary"}
+        assert top_gain > ranked[-1][0]
+
+    def test_ranking_is_sorted(self, f2_clean_table):
+        ranked = rank_attribute_pairs(
+            f2_clean_table, ["age", "salary", "loan"], "group",
+        )
+        gains = [gain for gain, _, _ in ranked]
+        assert gains == sorted(gains, reverse=True)
+
+
+class TestPrincipalComponents:
+    def test_correlated_pair_dominates(self, fresh_rng):
+        n = 1000
+        base = fresh_rng.normal(0, 1, n)
+        table = Table.from_columns(
+            [quantitative("a"), quantitative("b"), quantitative("c")],
+            {
+                "a": base,
+                "b": base * 2 + fresh_rng.normal(0, 0.05, n),
+                "c": fresh_rng.normal(0, 1, n),
+            },
+        )
+        eigenvalues, eigenvectors = principal_components(
+            table, ["a", "b", "c"]
+        )
+        assert eigenvalues[0] > eigenvalues[1] > 0
+        # The first component loads on the correlated pair, not c.
+        assert abs(eigenvectors[0, 0]) > 0.5
+        assert abs(eigenvectors[1, 0]) > 0.5
+        assert abs(eigenvectors[2, 0]) < 0.2
+
+    def test_eigenvalues_descending(self, f2_clean_table):
+        eigenvalues, _ = principal_components(
+            f2_clean_table, ["age", "salary", "loan", "hyears"]
+        )
+        assert list(eigenvalues) == sorted(eigenvalues, reverse=True)
+
+    def test_rejects_single_attribute(self, f2_clean_table):
+        with pytest.raises(ValueError):
+            principal_components(f2_clean_table, ["age"])

@@ -1,0 +1,147 @@
+"""Unit tests for grid smoothing (paper Section 3.4, Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import RuleGrid
+from repro.core.rules import GridRect
+from repro.core.smoothing import (
+    neighbourhood_mean,
+    smooth_binary,
+    smooth_support,
+)
+
+
+class TestNeighbourhoodMean:
+    def test_interior_cell_uses_nine_neighbours(self):
+        values = np.zeros((3, 3))
+        values[1, 1] = 9.0
+        got = neighbourhood_mean(values)
+        assert got[1, 1] == pytest.approx(1.0)
+        assert got[0, 0] == pytest.approx(9.0 / 4)
+
+    def test_corner_normalised_by_four(self):
+        values = np.zeros((3, 3))
+        values[0, 0] = 4.0
+        got = neighbourhood_mean(values)
+        assert got[0, 0] == pytest.approx(1.0)
+
+    def test_edge_normalised_by_six(self):
+        values = np.zeros((3, 3))
+        values[0, 1] = 6.0
+        got = neighbourhood_mean(values)
+        assert got[0, 1] == pytest.approx(1.0)
+
+    def test_constant_grid_is_fixed_point(self):
+        values = np.full((4, 5), 0.7)
+        assert np.allclose(neighbourhood_mean(values), 0.7)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            neighbourhood_mean(np.zeros(4))
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            neighbourhood_mean(np.zeros((2, 2)), radius=0)
+
+
+class TestSmoothBinary:
+    def test_fills_single_hole(self):
+        """The Figure 7 behaviour: a pinhole inside a dense region
+        disappears."""
+        grid = RuleGrid.empty(7, 7)
+        grid.set_rect(GridRect(0, 6, 0, 6))
+        grid.cells[3, 3] = False
+        smoothed = smooth_binary(grid)
+        assert smoothed.cells[3, 3]
+
+    def test_removes_isolated_cell(self):
+        grid = RuleGrid.empty(7, 7)
+        grid.cells[3, 3] = True
+        smoothed = smooth_binary(grid)
+        assert not smoothed.cells[3, 3]
+
+    def test_preserves_solid_block_interior(self):
+        grid = RuleGrid.empty(9, 9)
+        grid.set_rect(GridRect(2, 6, 2, 6))
+        smoothed = smooth_binary(grid)
+        # Interior must survive intact.
+        assert smoothed.cells[3:6, 3:6].all()
+
+    def test_zero_passes_is_identity(self):
+        grid = RuleGrid.empty(4, 4)
+        grid.set_rect(GridRect(0, 0, 0, 3))
+        smoothed = smooth_binary(grid, passes=0)
+        assert np.array_equal(smoothed.cells, grid.cells)
+
+    def test_input_not_modified(self):
+        grid = RuleGrid.empty(5, 5)
+        grid.cells[2, 2] = True
+        smooth_binary(grid)
+        assert grid.cells[2, 2]
+
+    def test_low_threshold_dilates(self):
+        grid = RuleGrid.empty(5, 5)
+        grid.set_rect(GridRect(1, 3, 1, 3))
+        smoothed = smooth_binary(grid, threshold=0.2)
+        assert smoothed.n_set > grid.n_set
+
+    def test_high_threshold_erodes(self):
+        grid = RuleGrid.empty(5, 5)
+        grid.set_rect(GridRect(1, 3, 1, 3))
+        smoothed = smooth_binary(grid, threshold=0.99)
+        assert smoothed.n_set < grid.n_set
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            smooth_binary(RuleGrid.empty(2, 2), threshold=0.0)
+
+    def test_rejects_negative_passes(self):
+        with pytest.raises(ValueError):
+            smooth_binary(RuleGrid.empty(2, 2), passes=-1)
+
+    def test_jagged_edge_straightened(self):
+        """A ragged boundary (alternating teeth) smooths toward a straight
+        edge — the paper's motivating anomaly.  Straightness is measured
+        as the number of on/off alternations along the boundary column."""
+        grid = RuleGrid.empty(8, 8)
+        grid.set_rect(GridRect(0, 7, 0, 4))
+        for i in range(0, 8, 2):
+            grid.cells[i, 5] = True  # teeth
+
+        def alternations(column):
+            return int((column[1:] != column[:-1]).sum())
+
+        before = alternations(grid.cells[:, 5])
+        smoothed = smooth_binary(grid, passes=2)
+        after = alternations(smoothed.cells[:, 5])
+        assert before == 7
+        assert after < before
+        # The bulk region itself must survive smoothing.
+        assert smoothed.cells[:, 0:4].all()
+
+
+class TestSmoothSupport:
+    def test_hole_inherits_neighbour_mass(self):
+        support = np.full((5, 5), 0.02)
+        support[2, 2] = 0.0  # pinhole below threshold
+        grid = smooth_support(support, min_support=0.01)
+        assert grid.cells[2, 2]
+
+    def test_lone_marginal_cell_averaged_away(self):
+        support = np.zeros((5, 5))
+        support[2, 2] = 0.012  # just above threshold but alone
+        grid = smooth_support(support, min_support=0.01)
+        assert not grid.cells[2, 2]
+
+    def test_strong_lone_cell_survives(self):
+        support = np.zeros((5, 5))
+        support[2, 2] = 0.5
+        grid = smooth_support(support, min_support=0.01)
+        assert grid.cells[2, 2]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            smooth_support(np.zeros((2, 2)), min_support=-0.1)
+        with pytest.raises(ValueError):
+            smooth_support(np.zeros((2, 2)), min_support=0.1, passes=0)

@@ -1,0 +1,166 @@
+"""Unit tests for the bin layout strategies."""
+
+import numpy as np
+import pytest
+
+from repro.binning.strategies import (
+    BinLayout,
+    equi_depth_layout,
+    equi_width_layout,
+    homogeneity_layout,
+    make_layout,
+)
+
+
+class TestBinLayout:
+    def test_basic_properties(self):
+        layout = BinLayout("x", [0.0, 1.0, 2.0, 3.0])
+        assert layout.n_bins == 3
+        assert layout.low == 0.0
+        assert layout.high == 3.0
+
+    def test_rejects_non_monotone_edges(self):
+        with pytest.raises(ValueError):
+            BinLayout("x", [0.0, 2.0, 1.0])
+
+    def test_rejects_too_few_edges(self):
+        with pytest.raises(ValueError):
+            BinLayout("x", [1.0])
+
+    def test_assign_half_open_bins(self):
+        layout = BinLayout("x", [0.0, 1.0, 2.0])
+        assert list(layout.assign([0.0, 0.99, 1.0, 1.99])) == [0, 0, 1, 1]
+
+    def test_assign_maximum_lands_in_last_bin(self):
+        layout = BinLayout("x", [0.0, 1.0, 2.0])
+        assert layout.assign([2.0])[0] == 1
+
+    def test_assign_clamps_out_of_range(self):
+        layout = BinLayout("x", [0.0, 1.0, 2.0])
+        assert list(layout.assign([-5.0, 7.0])) == [0, 1]
+
+    def test_bin_interval(self):
+        layout = BinLayout("x", [0.0, 1.5, 4.0])
+        assert layout.bin_interval(1) == (1.5, 4.0)
+
+    def test_bin_interval_out_of_range(self):
+        layout = BinLayout("x", [0.0, 1.0])
+        with pytest.raises(IndexError):
+            layout.bin_interval(1)
+
+    def test_span_interval(self):
+        layout = BinLayout("x", [0.0, 1.0, 2.0, 3.0])
+        assert layout.span_interval(0, 2) == (0.0, 3.0)
+        assert layout.span_interval(1, 1) == (1.0, 2.0)
+
+    def test_span_interval_empty_rejected(self):
+        layout = BinLayout("x", [0.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            layout.span_interval(1, 0)
+
+
+class TestEquiWidth:
+    def test_uniform_widths(self):
+        layout = equi_width_layout("age", 20, 80, 50)
+        widths = np.diff(layout.edges)
+        assert layout.n_bins == 50
+        assert np.allclose(widths, widths[0])
+        assert widths[0] == pytest.approx(1.2)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            equi_width_layout("x", 1, 1, 10)
+
+    def test_rejects_nonpositive_bins(self):
+        with pytest.raises(ValueError):
+            equi_width_layout("x", 0, 1, 0)
+
+
+class TestEquiDepth:
+    def test_balanced_counts(self, fresh_rng):
+        values = fresh_rng.exponential(scale=2.0, size=10_000)
+        layout = equi_depth_layout("x", values, 10)
+        counts = np.bincount(layout.assign(values),
+                             minlength=layout.n_bins)
+        # Each bin should hold close to 1000 tuples despite the skew.
+        assert counts.min() > 800
+        assert counts.max() < 1200
+
+    def test_skewed_data_gets_narrow_bins_in_dense_region(self, fresh_rng):
+        values = fresh_rng.exponential(scale=1.0, size=10_000)
+        layout = equi_depth_layout("x", values, 10)
+        widths = np.diff(layout.edges)
+        # Dense low end -> narrower early bins than late bins.
+        assert widths[0] < widths[-1]
+
+    def test_ties_collapse_edges(self):
+        values = np.array([1.0] * 90 + [2.0] * 10)
+        layout = equi_depth_layout("x", values, 10)
+        assert layout.n_bins < 10
+
+    def test_constant_column(self):
+        layout = equi_depth_layout("x", np.array([5.0, 5.0]), 4)
+        assert layout.n_bins == 1
+        assert layout.assign([5.0])[0] == 0
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(ValueError):
+            equi_depth_layout("x", np.array([]), 5)
+
+
+class TestHomogeneity:
+    def test_uniform_data_degrades_to_balanced_bins(self, fresh_rng):
+        values = fresh_rng.uniform(0, 1, size=5_000)
+        layout = homogeneity_layout("x", values, 20, tolerance=0.05)
+        # No uniformity signal: the budget is still used (resolution
+        # matters to ARCS) and the fallback splits balance populations.
+        assert layout.n_bins == 20
+        counts = np.bincount(layout.assign(values),
+                             minlength=layout.n_bins)
+        assert counts.max() < 4 * max(1, counts.min())
+
+    def test_bimodal_data_splits_modes(self, fresh_rng):
+        values = np.concatenate([
+            fresh_rng.normal(0.2, 0.02, size=2_000),
+            fresh_rng.normal(0.8, 0.02, size=2_000),
+        ])
+        layout = homogeneity_layout("x", values, 8)
+        assert layout.n_bins > 1
+        # Some edge should separate the two modes.
+        assert any(0.3 < edge < 0.7 for edge in layout.edges)
+
+    def test_constant_column(self):
+        layout = homogeneity_layout("x", np.array([3.0, 3.0, 3.0]), 5)
+        assert layout.n_bins == 1
+
+    def test_respects_bin_budget(self, fresh_rng):
+        values = fresh_rng.exponential(scale=1.0, size=3_000)
+        layout = homogeneity_layout("x", values, 6, tolerance=0.0)
+        assert layout.n_bins <= 6
+
+
+class TestMakeLayout:
+    def test_dispatch_equi_width(self):
+        layout = make_layout("equi-width", "x", np.array([1.0, 9.0]),
+                             4, low=0, high=10)
+        assert layout.n_bins == 4
+        assert layout.low == 0 and layout.high == 10
+
+    def test_equi_width_infers_range_from_data(self):
+        layout = make_layout("equi-width", "x",
+                             np.array([2.0, 8.0]), 3)
+        assert layout.low == 2.0 and layout.high == 8.0
+
+    def test_dispatch_equi_depth(self, fresh_rng):
+        values = fresh_rng.uniform(0, 1, 1000)
+        layout = make_layout("equi-depth", "x", values, 5)
+        assert 1 <= layout.n_bins <= 5
+
+    def test_dispatch_homogeneity(self, fresh_rng):
+        values = fresh_rng.uniform(0, 1, 1000)
+        layout = make_layout("homogeneity", "x", values, 5)
+        assert layout.n_bins >= 1
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown binning strategy"):
+            make_layout("magic", "x", np.array([1.0]), 5)

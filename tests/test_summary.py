@@ -1,0 +1,91 @@
+"""Unit tests for the dataset profiler."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Table, categorical, quantitative
+from repro.data.summary import (
+    CategoricalProfile,
+    QuantitativeProfile,
+    format_profile,
+    profile_table,
+)
+
+
+@pytest.fixture()
+def mixed_table(fresh_rng):
+    n = 2_000
+    return Table.from_columns(
+        [quantitative("income", 0, 100_000),
+         categorical("region", ("n", "s", "e", "w"))],
+        {
+            "income": fresh_rng.uniform(0, 100_000, n),
+            "region": (["n"] * 1_000 + ["s"] * 600 + ["e"] * 300
+                       + ["w"] * 100),
+        },
+    )
+
+
+class TestProfileTable:
+    def test_profiles_in_schema_order(self, mixed_table):
+        profiles = profile_table(mixed_table)
+        assert isinstance(profiles[0], QuantitativeProfile)
+        assert isinstance(profiles[1], CategoricalProfile)
+        assert profiles[0].name == "income"
+
+    def test_quantitative_statistics(self, mixed_table):
+        profile = profile_table(mixed_table)[0]
+        assert 0 <= profile.minimum < profile.maximum <= 100_000
+        q1, q2, q3 = profile.quartiles
+        assert q1 < q2 < q3
+        assert abs(profile.mean - 50_000) < 5_000
+        assert len(profile.histogram) == 24
+
+    def test_uniform_histogram_is_flat(self, mixed_table):
+        profile = profile_table(mixed_table)[0]
+        # All bars near the peak level for uniform data.
+        assert len(set(profile.histogram)) <= 3
+
+    def test_categorical_top_values_ordered(self, mixed_table):
+        profile = profile_table(mixed_table)[1]
+        assert profile.cardinality == 4
+        values = [value for value, _ in profile.top_values]
+        counts = [count for _, count in profile.top_values]
+        assert values[0] == "n"
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top_k_limits(self, mixed_table):
+        profile = profile_table(mixed_table, top_k=2)[1]
+        assert len(profile.top_values) == 2
+
+    def test_rejects_bad_top_k(self, mixed_table):
+        with pytest.raises(ValueError):
+            profile_table(mixed_table, top_k=0)
+
+    def test_rejects_empty_column(self):
+        empty = Table.from_columns(
+            [quantitative("x")], {"x": []}
+        )
+        with pytest.raises(ValueError):
+            profile_table(empty)
+
+
+class TestFormatProfile:
+    def test_report_mentions_every_attribute(self, mixed_table):
+        text = format_profile(profile_table(mixed_table),
+                              len(mixed_table))
+        assert "income" in text and "region" in text
+        assert "2,000 rows" in text
+        assert "|" in text  # histogram frame
+
+
+class TestDescribeCommand:
+    def test_cli_describe(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "d.csv"
+        main(["generate", str(path), "--tuples", "500"])
+        capsys.readouterr()
+        assert main(["describe", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "salary" in out and "group" in out
+        assert "500 rows" in out

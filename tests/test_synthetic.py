@@ -1,0 +1,140 @@
+"""Unit tests for the synthetic data generator (paper Table 1)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data.functions import classification_function
+from repro.data.synthetic import (
+    DEMOGRAPHIC_ATTRIBUTES,
+    SyntheticConfig,
+    generate_synthetic,
+    group_fractions,
+)
+
+
+class TestSyntheticConfig:
+    def test_defaults_match_paper(self):
+        config = SyntheticConfig(n_tuples=1000)
+        assert config.function_id == 2
+        assert config.perturbation == 0.05
+        assert config.outlier_fraction == 0.0
+        assert config.perturbed_attributes == ("age", "salary")
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_rejects_nonpositive_size(self, bad):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_tuples=bad)
+
+    def test_rejects_bad_perturbation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_tuples=10, perturbation=1.0)
+
+    def test_rejects_bad_outlier_fraction(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_tuples=10, outlier_fraction=-0.1)
+
+
+class TestGeneration:
+    def test_schema(self):
+        table = generate_synthetic(SyntheticConfig(n_tuples=100))
+        expected = [spec.name for spec in DEMOGRAPHIC_ATTRIBUTES]
+        assert table.attribute_names == expected + ["group"]
+        assert len(table) == 100
+
+    def test_reproducible_by_seed(self):
+        config = SyntheticConfig(n_tuples=500, seed=3)
+        a = generate_synthetic(config)
+        b = generate_synthetic(config)
+        assert (a.column("salary") == b.column("salary")).all()
+        assert (a.column("group") == b.column("group")).all()
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic(SyntheticConfig(n_tuples=500, seed=1))
+        b = generate_synthetic(SyntheticConfig(n_tuples=500, seed=2))
+        assert not (a.column("salary") == b.column("salary")).all()
+
+    def test_attribute_ranges(self):
+        table = generate_synthetic(SyntheticConfig(n_tuples=2000, seed=5))
+        salary = table.column("salary")
+        assert salary.min() >= 20_000 and salary.max() <= 150_000
+        age = table.column("age")
+        assert age.min() >= 20 and age.max() <= 80
+        elevel = table.column("elevel")
+        assert set(np.unique(elevel)) <= {0.0, 1.0, 2.0, 3.0, 4.0}
+        hyears = table.column("hyears")
+        assert hyears.min() >= 1 and hyears.max() <= 30
+
+    def test_commission_zero_for_high_earners(self):
+        # Perturbation moves salary after commission is drawn, so the
+        # invariant is only exact on unperturbed data.
+        table = generate_synthetic(
+            SyntheticConfig(n_tuples=2000, perturbation=0.0, seed=5)
+        )
+        salary = table.column("salary")
+        commission = table.column("commission")
+        assert (commission[salary >= 75_000] == 0).all()
+        low_paid = commission[salary < 75_000]
+        assert (low_paid >= 10_000).all() and (low_paid <= 75_000).all()
+
+    def test_zipcode_domain(self):
+        table = generate_synthetic(SyntheticConfig(n_tuples=500, seed=5))
+        assert set(table.column("zipcode").tolist()) <= set(range(9))
+
+    def test_group_fraction_near_paper_value(self):
+        """Paper Table 1: ~40% Group A / 60% other for Function 2."""
+        table = generate_synthetic(
+            SyntheticConfig(n_tuples=50_000, perturbation=0.0, seed=9)
+        )
+        fractions = group_fractions(table)
+        assert 0.35 < fractions["A"] < 0.43
+        assert abs(fractions["A"] + fractions["other"] - 1.0) < 1e-12
+
+
+class TestLabelsVsFunction:
+    def test_unperturbed_labels_match_function_exactly(self):
+        config = SyntheticConfig(n_tuples=5_000, perturbation=0.0, seed=4)
+        table = generate_synthetic(config)
+        in_a = classification_function(2)(table)
+        labels = table.column("group")
+        assert ((labels == "A") == in_a).all()
+
+    def test_perturbation_creates_label_noise(self):
+        """After perturbation some tuples near boundaries no longer match
+        their label — that is the point of the perturbation model."""
+        config = SyntheticConfig(
+            n_tuples=20_000, perturbation=0.05, seed=4
+        )
+        table = generate_synthetic(config)
+        in_a = classification_function(2)(table)
+        labels = table.column("group")
+        mismatch = float(np.mean((labels == "A") != in_a))
+        assert 0.005 < mismatch < 0.20
+
+    def test_outliers_flip_roughly_u_fraction(self):
+        clean = generate_synthetic(
+            SyntheticConfig(n_tuples=10_000, perturbation=0.0, seed=6)
+        )
+        noisy = generate_synthetic(
+            SyntheticConfig(
+                n_tuples=10_000, perturbation=0.0,
+                outlier_fraction=0.10, seed=6,
+            )
+        )
+        flipped = float(
+            np.mean(clean.column("group") != noisy.column("group"))
+        )
+        assert abs(flipped - 0.10) < 0.005
+
+    def test_outlier_tuples_do_not_match_their_rules(self):
+        """An outlier's label contradicts the generating function."""
+        table = generate_synthetic(
+            SyntheticConfig(
+                n_tuples=10_000, perturbation=0.0,
+                outlier_fraction=0.10, seed=6,
+            )
+        )
+        in_a = classification_function(2)(table)
+        labels = table.column("group")
+        mismatch = float(np.mean((labels == "A") != in_a))
+        assert abs(mismatch - 0.10) < 0.005

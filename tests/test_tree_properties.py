@@ -1,0 +1,90 @@
+"""Property-based tests on the C4.5 baseline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.decision_tree import (
+    C45Tree,
+    TreeConfig,
+    pessimistic_errors,
+)
+from repro.data.schema import Table, categorical, quantitative
+
+
+@st.composite
+def labelled_tables(draw, max_rows=60):
+    n = draw(st.integers(4, max_rows))
+    xs = draw(st.lists(st.floats(0, 100, allow_nan=False),
+                       min_size=n, max_size=n))
+    ys = draw(st.lists(st.floats(0, 100, allow_nan=False),
+                       min_size=n, max_size=n))
+    labels = draw(st.lists(st.sampled_from(["a", "b"]),
+                           min_size=n, max_size=n))
+    return Table.from_columns(
+        [quantitative("x", 0, 100), quantitative("y", 0, 100),
+         categorical("g", ("a", "b"))],
+        {"x": xs, "y": ys, "g": labels},
+    )
+
+
+class TestPessimisticBoundProperties:
+    @given(st.integers(1, 5000), st.integers(0, 5000),
+           st.floats(0.05, 0.45))
+    def test_bound_between_observed_and_total(self, n, errors, cf):
+        errors = min(errors, n)
+        bound = pessimistic_errors(n, errors, cf)
+        assert errors - 1e-9 <= bound <= n + 1e-9
+
+    @given(st.integers(2, 2000), st.integers(0, 100))
+    def test_bound_monotone_in_confidence(self, n, errors):
+        errors = min(errors, n - 1)
+        strict = pessimistic_errors(n, errors, 0.10)
+        loose = pessimistic_errors(n, errors, 0.40)
+        # Lower CF = more pessimism = larger upper bound.
+        assert strict >= loose - 1e-9
+
+
+class TestTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(labelled_tables())
+    def test_predictions_are_known_labels(self, table):
+        tree = C45Tree(TreeConfig(min_leaf=1)).fit(
+            table, ["x", "y"], "g"
+        )
+        predictions = tree.predict(table)
+        assert set(predictions) <= set(table.column("g"))
+
+    @settings(max_examples=25, deadline=None)
+    @given(labelled_tables())
+    def test_training_accuracy_at_least_majority(self, table):
+        tree = C45Tree(TreeConfig(min_leaf=1)).fit(
+            table, ["x", "y"], "g"
+        )
+        predictions = tree.predict(table)
+        accuracy = float(np.mean(predictions == table.column("g")))
+        labels = table.column("g")
+        majority = max(
+            float(np.mean(labels == "a")),
+            float(np.mean(labels == "b")),
+        )
+        assert accuracy >= majority - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(labelled_tables(), st.integers(1, 4))
+    def test_max_depth_always_respected(self, table, max_depth):
+        tree = C45Tree(TreeConfig(max_depth=max_depth, min_leaf=1)).fit(
+            table, ["x", "y"], "g"
+        )
+        assert tree.depth <= max_depth
+
+    @settings(max_examples=20, deadline=None)
+    @given(labelled_tables())
+    def test_pruned_no_bigger_than_unpruned(self, table):
+        unpruned = C45Tree(TreeConfig(prune=False, min_leaf=1)).fit(
+            table, ["x", "y"], "g"
+        )
+        pruned = C45Tree(TreeConfig(prune=True, min_leaf=1)).fit(
+            table, ["x", "y"], "g"
+        )
+        assert pruned.n_leaves <= unpruned.n_leaves

@@ -1,0 +1,127 @@
+"""Unit tests for the sampled verifier (paper Section 3.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import ClusteredRule, Interval
+from repro.core.segmentation import Segmentation
+from repro.core.verifier import Verifier
+from repro.data.schema import Table, categorical, quantitative
+
+
+def make_table(points, labels):
+    specs = [
+        quantitative("age", 0, 100),
+        quantitative("salary", 0, 100),
+        categorical("group", ("A", "other")),
+    ]
+    ages, salaries = zip(*points)
+    return Table.from_columns(specs, {
+        "age": list(ages), "salary": list(salaries),
+        "group": list(labels),
+    })
+
+
+def segmentation_over(x_lo, x_hi, y_lo, y_hi):
+    rule = ClusteredRule(
+        "age", "salary", Interval(x_lo, x_hi), Interval(y_lo, y_hi),
+        "group", "A", support=0.5, confidence=0.9,
+    )
+    return Segmentation.from_rules([rule])
+
+
+class TestExactErrorRate:
+    def test_perfect_segmentation(self):
+        table = make_table(
+            [(10, 10), (10, 20), (90, 90)], ["A", "A", "other"]
+        )
+        seg = segmentation_over(0, 50, 0, 50)
+        verifier = Verifier(table, "group", "A")
+        assert verifier.exact_error_rate(seg) == 0.0
+
+    def test_false_positive_counted(self):
+        table = make_table([(10, 10), (20, 20)], ["A", "other"])
+        seg = segmentation_over(0, 50, 0, 50)  # covers both
+        verifier = Verifier(table, "group", "A")
+        assert verifier.exact_error_rate(seg) == pytest.approx(0.5)
+
+    def test_false_negative_counted(self):
+        table = make_table([(10, 10), (90, 90)], ["A", "A"])
+        seg = segmentation_over(0, 50, 0, 50)  # misses the second
+        verifier = Verifier(table, "group", "A")
+        assert verifier.exact_error_rate(seg) == pytest.approx(0.5)
+
+    def test_empty_segmentation_errs_on_all_targets(self):
+        table = make_table(
+            [(10, 10), (20, 20), (30, 30), (40, 40)],
+            ["A", "A", "other", "other"],
+        )
+        empty = Segmentation(
+            rules=(), x_attribute="age", y_attribute="salary",
+            rhs_attribute="group", rhs_value="A",
+        )
+        verifier = Verifier(table, "group", "A")
+        assert verifier.exact_error_rate(empty) == pytest.approx(0.5)
+
+
+class TestSampledVerification:
+    def test_full_sample_matches_exact(self):
+        table = make_table(
+            [(10, 10), (20, 20), (90, 90), (80, 80)],
+            ["A", "other", "A", "other"],
+        )
+        seg = segmentation_over(0, 50, 0, 50)
+        verifier = Verifier(table, "group", "A", sample_size=4, repeats=3)
+        report = verifier.verify(seg)
+        assert report.error_rate == pytest.approx(
+            verifier.exact_error_rate(seg)
+        )
+        assert report.error_rate_stderr == 0.0  # every sample identical
+
+    def test_report_counts_split_fp_fn(self):
+        table = make_table(
+            [(10, 10), (20, 20), (90, 90)], ["A", "other", "A"]
+        )
+        seg = segmentation_over(0, 50, 0, 50)
+        verifier = Verifier(table, "group", "A", sample_size=3, repeats=2)
+        report = verifier.verify(seg)
+        assert report.mean_false_positives == 1.0
+        assert report.mean_false_negatives == 1.0
+        assert report.mean_errors == 2.0
+
+    def test_sample_size_clamped_to_table(self):
+        table = make_table([(10, 10)], ["A"])
+        verifier = Verifier(table, "group", "A", sample_size=1000)
+        assert verifier.sample_size == 1
+
+    def test_deterministic_for_fixed_seed(self, f2_table):
+        seg = segmentation_over(20, 40, 50_000, 100_000)
+        # Domain differs but intervals still apply.
+        a = Verifier(f2_table, "group", "A", sample_size=500,
+                     repeats=3, seed=5).verify(seg)
+        b = Verifier(f2_table, "group", "A", sample_size=500,
+                     repeats=3, seed=5).verify(seg)
+        assert a.error_rate == b.error_rate
+
+    def test_estimate_tracks_exact_rate(self, f2_table):
+        """Repeated k-of-n sampling approximates the full-table rate."""
+        seg = segmentation_over(20, 40, 50_000, 100_000)
+        verifier = Verifier(f2_table, "group", "A", sample_size=2000,
+                            repeats=10, seed=1)
+        report = verifier.verify(seg)
+        exact = verifier.exact_error_rate(seg)
+        assert abs(report.error_rate - exact) < 0.02
+
+    def test_more_repeats_reduce_stderr(self, f2_table):
+        seg = segmentation_over(20, 40, 50_000, 100_000)
+        few = Verifier(f2_table, "group", "A", sample_size=500,
+                       repeats=3, seed=2).verify(seg)
+        many = Verifier(f2_table, "group", "A", sample_size=500,
+                        repeats=30, seed=2).verify(seg)
+        assert many.error_rate_stderr <= few.error_rate_stderr + 0.01
+
+    def test_rejects_bad_parameters(self, f2_table):
+        with pytest.raises(ValueError):
+            Verifier(f2_table, "group", "A", sample_size=0)
+        with pytest.raises(ValueError):
+            Verifier(f2_table, "group", "A", repeats=0)

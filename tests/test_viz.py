@@ -1,0 +1,110 @@
+"""Unit tests for ASCII rendering and report tables."""
+
+from repro.core.grid import RuleGrid
+from repro.core.rules import GridRect
+from repro.viz.ascii import render_grid, render_side_by_side
+from repro.viz.report import format_series_table, format_table
+
+
+class TestRenderGrid:
+    def test_dimensions(self):
+        grid = RuleGrid.empty(5, 3)
+        text = render_grid(grid)
+        lines = text.splitlines()
+        # Header + 3 rows (y) + axis line.
+        assert len(lines) == 1 + 3 + 1
+
+    def test_set_cells_marked(self):
+        grid = RuleGrid.from_pairs([(0, 0)], 3, 2)
+        text = render_grid(grid)
+        # y grows upward: cell (0, 0) is in the bottom row.
+        bottom_row = text.splitlines()[-2]
+        assert bottom_row.strip().startswith("| #")
+
+    def test_cluster_marks(self):
+        grid = RuleGrid.from_pairs([(1, 1)], 3, 3)
+        text = render_grid(grid, [GridRect(1, 1, 1, 1)])
+        assert "@" in text
+        text_with_empty_cluster = render_grid(
+            RuleGrid.empty(3, 3), [GridRect(0, 0, 0, 0)]
+        )
+        assert "o" in text_with_empty_cluster
+
+    def test_axis_labels(self):
+        text = render_grid(RuleGrid.empty(2, 2), x_label="age",
+                           y_label="salary")
+        assert "age" in text and "salary" in text
+
+
+class TestRenderSideBySide:
+    def test_titles_and_alignment(self):
+        left = RuleGrid.empty(4, 3)
+        right = RuleGrid.from_pairs([(0, 0)], 4, 3)
+        text = render_side_by_side(left, right, "before", "after")
+        lines = text.splitlines()
+        assert "before" in lines[0] and "after" in lines[0]
+        assert len(lines) == 1 + 3
+
+    def test_height_mismatch_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            render_side_by_side(RuleGrid.empty(2, 2),
+                                RuleGrid.empty(2, 3))
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatTrialHistory:
+    def test_renders_trials(self, f2_binner, f2_clean_table):
+        from repro.core.clusterer import GridClusterer
+        from repro.core.mdl import MDLWeights
+        from repro.core.optimizer import (
+            HeuristicOptimizer,
+            OptimizerConfig,
+        )
+        from repro.core.verifier import Verifier
+        from repro.viz.report import format_trial_history
+
+        optimizer = HeuristicOptimizer(
+            GridClusterer(),
+            Verifier(f2_clean_table, "group", "A", sample_size=400,
+                     repeats=2),
+            MDLWeights(),
+            OptimizerConfig(max_support_levels=3,
+                            max_confidence_levels=3),
+        )
+        result = optimizer.search(f2_binner.bin_array, 0)
+        text = format_trial_history(result.history)
+        lines = text.splitlines()
+        assert "MDL cost" in lines[0]
+        assert len(lines) == 2 + len(result.history)
+
+
+class TestFormatSeriesTable:
+    def test_one_column_per_series(self):
+        text = format_series_table(
+            "n", [10, 20],
+            {"arcs": [0.1, 0.2], "c45": [0.3, 0.4]},
+        )
+        header = text.splitlines()[0]
+        assert "n" in header and "arcs" in header and "c45" in header
+
+    def test_short_series_padded(self):
+        text = format_series_table(
+            "n", [10, 20], {"arcs": [0.1]},
+        )
+        assert "-" in text.splitlines()[-1]
