@@ -11,8 +11,9 @@ pytest-benchmark and writes its paper-style table to
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
@@ -46,12 +47,36 @@ ARCS_SWEEP_CONFIG = ARCSConfig(
 )
 
 
-def emit(name: str, title: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+def emit(name: str, title: str, text: str, data=None) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    Two artefacts are written per result: the paper-style ASCII table
+    (``{name}.txt``) and a machine-readable record (``{name}.json``)
+    carrying ``data`` — the structured rows behind the table, including
+    any timings — so downstream tooling can diff runs without parsing
+    the rendered text.
+    """
     banner = f"\n=== {title} ===\n{text}\n"
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(banner.lstrip("\n"))
+    payload = {
+        "format": "arcs-benchmark-result",
+        "version": 1,
+        "name": name,
+        "title": title,
+        "generated_at": time.time(),
+        "text": text,
+        "data": data,
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n"
+    )
+
+
+def points_data(points: list["ComparisonPoint"]) -> list[dict]:
+    """ComparisonPoints as JSON-ready dicts (rows for :func:`emit`)."""
+    return [asdict(point) for point in points]
 
 
 def generate(n_tuples: int, outlier_fraction: float = 0.0,

@@ -5,7 +5,7 @@ C4.5 at or slightly below ARCS (ARCS's floor is bin granularity plus the
 5% perturbation's irreducible boundary noise).
 """
 
-from conftest import comparison_table, emit, generate
+from conftest import comparison_table, emit, generate, points_data
 from repro.core.arcs import ARCS
 from conftest import ARCS_SWEEP_CONFIG
 
@@ -14,7 +14,8 @@ def test_fig11_error_rates(benchmark, comparison_sweep):
     points = comparison_sweep[0.0]
     table = comparison_table(points, ["arcs_error", "c45_error"])
     emit("e2_fig11_error_no_outliers",
-         "E2 / Figure 11: error rate vs tuples (U=0%)", table)
+         "E2 / Figure 11: error rate vs tuples (U=0%)", table,
+         data=points_data(points))
 
     # Representative kernel: one ARCS fit at the middle size.
     data = generate(5_000, 0.0, seed=77)

@@ -5,14 +5,15 @@ slightly higher than ARCS.  The 10% flipped labels are an irreducible
 error floor for both systems, so both series sit above 0.10.
 """
 
-from conftest import comparison_table, emit
+from conftest import comparison_table, emit, points_data
 
 
 def test_fig12_error_rates_with_outliers(benchmark, comparison_sweep):
     points = comparison_sweep[0.10]
     table = comparison_table(points, ["arcs_error", "c45_error"])
     emit("e3_fig12_error_outliers",
-         "E3 / Figure 12: error rate vs tuples (U=10%)", table)
+         "E3 / Figure 12: error rate vs tuples (U=10%)", table,
+         data=points_data(points))
 
     def mean_gap():
         return sum(

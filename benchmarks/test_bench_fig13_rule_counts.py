@@ -5,7 +5,7 @@ runs) while C4.5 emits several times more (~12–35), and "keeping the
 number of rules small is very important" for end users.
 """
 
-from conftest import comparison_table, emit
+from conftest import comparison_table, emit, points_data
 
 
 def test_fig13_rule_counts(benchmark, comparison_sweep):
@@ -14,7 +14,8 @@ def test_fig13_rule_counts(benchmark, comparison_sweep):
         points, ["arcs_rules", "c45_rules_total", "c45_rules_for_a"]
     )
     emit("e4_fig13_rule_counts",
-         "E4 / Figure 13: rules produced vs tuples (U=0%)", table)
+         "E4 / Figure 13: rules produced vs tuples (U=0%)", table,
+         data=points_data(points))
 
     def rule_ratio():
         return sum(

@@ -5,7 +5,7 @@ clusters (dynamic pruning absorbs the outlier background) while C4.5
 still produces several times more rules.
 """
 
-from conftest import comparison_table, emit
+from conftest import comparison_table, emit, points_data
 
 
 def test_fig14_rule_counts_with_outliers(benchmark, comparison_sweep):
@@ -14,7 +14,8 @@ def test_fig14_rule_counts_with_outliers(benchmark, comparison_sweep):
         points, ["arcs_rules", "c45_rules_total", "c45_rules_for_a"]
     )
     emit("e5_fig14_rule_counts_outliers",
-         "E5 / Figure 14: rules produced vs tuples (U=10%)", table)
+         "E5 / Figure 14: rules produced vs tuples (U=10%)", table,
+         data=points_data(points))
 
     def rule_ratio():
         return sum(

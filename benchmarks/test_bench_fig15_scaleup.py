@@ -50,7 +50,12 @@ def test_fig15_scaleup(benchmark):
         rows,
     )
     emit("e6_fig15_scaleup",
-         "E6 / Figure 15: ARCS execution time vs tuples", table)
+         "E6 / Figure 15: ARCS execution time vs tuples", table,
+         data=[
+             {"n_tuples": n, "bin_seconds": bin_s,
+              "fit_seconds": fit_s}
+             for n, bin_s, fit_s in timings
+         ])
 
     # Representative kernel for pytest-benchmark: the 100k binning pass.
     data = generate(100_000, 0.0, seed=999)

@@ -6,7 +6,7 @@ seconds for ARCS, the C4.5 tree, and tree+RULES at each size; ARCS's
 growth must stay near-linear while C4.5+RULES pulls away super-linearly.
 """
 
-from conftest import comparison_table, emit
+from conftest import comparison_table, emit, points_data
 
 
 def test_table2_comparative_times(benchmark, comparison_sweep):
@@ -24,7 +24,8 @@ def test_table2_comparative_times(benchmark, comparison_sweep):
         ["tuples", "ARCS (s)", "C4.5 (s)", "C4.5+RULES (s)"], augmented
     )
     emit("e7_table2_comparative_time",
-         "E7 / Table 2: comparative execution time", table)
+         "E7 / Table 2: comparative execution time", table,
+         data=points_data(points))
 
     def growth_ratios():
         first, last = points[0], points[-1]

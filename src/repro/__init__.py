@@ -19,8 +19,18 @@ Quick start::
 
 Subpackages: :mod:`repro.core` (ARCS + BitOp), :mod:`repro.binning`,
 :mod:`repro.mining`, :mod:`repro.data`, :mod:`repro.baselines` (C4.5),
-:mod:`repro.analysis`, :mod:`repro.extensions`, :mod:`repro.viz`.
+:mod:`repro.analysis`, :mod:`repro.extensions`, :mod:`repro.viz`,
+:mod:`repro.obs` (tracing / metrics / run reports).
+
+The library logs through standard :mod:`logging` loggers named after
+their modules (``repro.core.optimizer``, ``repro.binning.binner``, ...)
+at DEBUG/INFO and never configures handlers itself — the package root
+carries a :class:`logging.NullHandler`, so output appears only when the
+application opts in (e.g. ``logging.basicConfig(level="INFO")`` or the
+CLI's ``--log-level``).
 """
+
+import logging as _logging
 
 from repro.core.segmentation import Segmentation
 from repro.core.arcs import ARCS, ARCSConfig, ARCSResult
@@ -32,8 +42,14 @@ from repro.core.rules import ClusteredRule, GridRect, Interval
 from repro.core.verifier import VerificationReport, Verifier
 from repro.data.schema import AttributeSpec, Table
 from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro import obs
+from repro.obs.report import RunReport
 
-__version__ = "1.0.0"
+# Library convention: a NullHandler on the package root so importing
+# applications control whether (and how) repro logs anything.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
+__version__ = "1.1.0"
 
 __all__ = [
     "ARCS",
@@ -49,11 +65,13 @@ __all__ = [
     "MDLWeights",
     "mdl_cost",
     "OptimizerConfig",
+    "RunReport",
     "Segmentation",
     "SyntheticConfig",
     "Table",
     "VerificationReport",
     "Verifier",
     "generate_synthetic",
+    "obs",
     "__version__",
 ]

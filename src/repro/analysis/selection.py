@@ -18,12 +18,16 @@ implemented here:
 
 from __future__ import annotations
 
+import logging
+
 from itertools import combinations
 from typing import Sequence
 
 import numpy as np
 
 from repro.data.schema import Table
+
+logger = logging.getLogger(__name__)
 
 
 def _entropy(counts: np.ndarray) -> float:
@@ -117,6 +121,11 @@ def rank_attribute_pairs(table: Table, candidates: Sequence[str],
         gain = joint_information_gain(table, a, b, label_attribute, n_bins)
         ranked.append((gain, a, b))
     ranked.sort(key=lambda triple: (-triple[0], triple[1], triple[2]))
+    if ranked:
+        logger.debug(
+            "ranked %d attribute pairs; best (%s, %s) gain=%.4f",
+            len(ranked), ranked[0][1], ranked[0][2], ranked[0][0],
+        )
     return ranked
 
 

@@ -13,6 +13,8 @@ the data again.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -26,6 +28,21 @@ from repro.binning.strategies import (
     make_layout,
 )
 from repro.data.schema import Table
+from repro.data.summary import profile_bin_array
+from repro.obs import metrics, trace
+
+logger = logging.getLogger(__name__)
+
+
+def record_occupancy(bin_array: BinArray) -> None:
+    """Publish a BinArray's occupancy statistics (one shared
+    :func:`~repro.data.summary.profile_bin_array` pass) as the
+    ``binner.*`` occupancy gauges."""
+    profile = profile_bin_array(bin_array)
+    metrics.set_gauge("binner.grid_cells", profile.grid_cells)
+    metrics.set_gauge("binner.cells_occupied", profile.occupied_cells)
+    metrics.set_gauge("binner.occupancy_fraction",
+                      profile.occupancy_fraction)
 
 
 @dataclass
@@ -100,6 +117,12 @@ class Binner:
             chunk.column(self.rhs_attribute)
         )
         self.bin_array.add_chunk(x_bins, y_bins, rhs_codes)
+        metrics.inc("binner.tuples_binned", len(chunk))
+        metrics.inc("binner.chunks_consumed")
+
+    def record_occupancy(self) -> None:
+        """Publish the BinArray's occupancy statistics as gauges."""
+        record_occupancy(self.bin_array)
 
     def consume_all(self, chunks: Iterable[Table]) -> BinArray:
         """Consume an iterable of chunks and return the BinArray."""
@@ -127,9 +150,19 @@ def bin_table(table: Table, x_attribute: str, y_attribute: str,
     domains, then the data flows through in chunks.  Returns the binner
     (whose :attr:`~Binner.bin_array` is fully populated).
     """
-    binner = Binner.fit(
-        table, x_attribute, y_attribute, rhs_attribute,
-        n_bins_x, n_bins_y, strategy=strategy, target_value=target_value,
-    )
-    binner.consume_all(table.iter_chunks(chunk_rows))
+    with trace("bin", strategy=strategy, n_bins_x=n_bins_x,
+               n_bins_y=n_bins_y) as span:
+        binner = Binner.fit(
+            table, x_attribute, y_attribute, rhs_attribute,
+            n_bins_x, n_bins_y, strategy=strategy,
+            target_value=target_value,
+        )
+        binner.consume_all(table.iter_chunks(chunk_rows))
+        binner.record_occupancy()
+        span.set("tuples", len(table))
+        logger.info(
+            "binned %d tuples into a %dx%d %s grid (%d occupied cells)",
+            len(table), n_bins_x, n_bins_y, strategy,
+            int(np.count_nonzero(binner.bin_array.totals)),
+        )
     return binner

@@ -15,9 +15,13 @@ range maximum lands in a bin.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 EQUI_WIDTH = "equi-width"
 EQUI_DEPTH = "equi-depth"
@@ -247,7 +251,12 @@ def suggest_bin_count(n_tuples: int, target_per_cell: float = 12.0,
     if not 0 < min_bins <= max_bins:
         raise ValueError("need 0 < min_bins <= max_bins")
     raw = int(np.sqrt(n_tuples / target_per_cell))
-    return int(np.clip(raw, min_bins, max_bins))
+    bins = int(np.clip(raw, min_bins, max_bins))
+    logger.debug(
+        "suggest_bin_count: %d tuples at ~%g per cell -> %d bins",
+        n_tuples, target_per_cell, bins,
+    )
+    return bins
 
 
 def make_layout(strategy: str, attribute: str, values: np.ndarray,

@@ -13,16 +13,30 @@ Subcommands mirror the library workflow:
 
 Every command is driven by :func:`main`, which takes an argv list so
 tests can invoke it without a subprocess.
+
+Observability flags (``fit``, ``fit-all``, ``remine``, ``describe``,
+``inspect``) expose the :mod:`repro.obs` layer without code changes:
+
+* ``--log-level LEVEL`` — configure :mod:`logging` for the process (the
+  library logs at DEBUG/INFO through module loggers);
+* ``--trace`` — collect a span tree + metrics for the run and print the
+  ASCII summary after the command's normal output;
+* ``--metrics-out PATH`` — write the run's machine-readable
+  :class:`~repro.obs.report.RunReport` JSON to ``PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from pathlib import Path
 
 import repro
+from repro import obs
+from repro.obs import trace
+from repro.binning.binner import record_occupancy
 from repro.binning.strategies import STRATEGIES
 from repro.core.arcs import ARCS, ARCSConfig
 from repro.core.clusterer import GridClusterer
@@ -31,12 +45,34 @@ from repro.core.verifier import Verifier
 from repro.data.io import read_csv, write_csv
 from repro.data.schema import AttributeSpec, categorical, quantitative
 from repro.data.synthetic import DEMOGRAPHIC_ATTRIBUTES, GROUP_ATTRIBUTE
+from repro.data.summary import format_occupancy, profile_bin_array
+from repro.obs.report import RunCapture, RunReport
 from repro.persistence import (
     load_bin_array,
     load_segmentation,
     save_bin_array,
     save_segmentation,
 )
+
+logger = logging.getLogger(__name__)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (see the module docstring)."""
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help="configure logging for the run (library loggers emit at "
+             "DEBUG/INFO)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect spans + metrics and print the run summary",
+    )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="PATH",
+        help="write the machine-readable run report JSON to PATH",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -82,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="optimizer wall-clock budget in seconds")
     fit.add_argument("--verbose", action="store_true",
                      help="print every optimizer trial as it completes")
+    _add_obs_flags(fit)
 
     fit_all = commands.add_parser(
         "fit-all",
@@ -95,6 +132,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fit_all.add_argument("--bins", type=int, default=50)
     fit_all.add_argument("--support-levels", type=int, default=16)
     fit_all.add_argument("--confidence-levels", type=int, default=8)
+    _add_obs_flags(fit_all)
 
     remine = commands.add_parser(
         "remine",
@@ -105,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     remine.add_argument("--min-support", type=float, required=True)
     remine.add_argument("--min-confidence", type=float, required=True)
     remine.add_argument("--save-segmentation", type=Path, default=None)
+    _add_obs_flags(remine)
 
     describe = commands.add_parser(
         "describe", help="profile a CSV's attributes"
@@ -112,6 +151,7 @@ def _build_parser() -> argparse.ArgumentParser:
     describe.add_argument("data", type=Path, help="input CSV")
     describe.add_argument("--top", type=int, default=5,
                           help="top categorical values to list")
+    _add_obs_flags(describe)
 
     inspect = commands.add_parser(
         "inspect", help="print a saved segmentation"
@@ -119,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("segmentation", type=Path, help="saved JSON")
     inspect.add_argument("--evaluate", type=Path, default=None,
                          help="CSV to measure the error rate against")
+    _add_obs_flags(inspect)
 
     return parser
 
@@ -153,6 +194,40 @@ def _coerce_target(value: str):
     """CSV round trips stringify everything, so targets stay strings
     unless the RHS encoding holds numbers."""
     return value
+
+
+def _configure_observability(args: argparse.Namespace) -> None:
+    """Apply the shared obs flags (commands without them are no-ops)."""
+    level = getattr(args, "log_level", None)
+    if level is not None:
+        logging.basicConfig(
+            level=getattr(logging, level),
+            format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        )
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        parent = Path(metrics_out).resolve().parent
+        if not parent.is_dir():
+            # Fail before the run, not after minutes of work.
+            raise SystemExit(
+                f"arcs: cannot write run report to {metrics_out}: "
+                f"directory {parent} does not exist"
+            )
+    if getattr(args, "trace", False) or metrics_out is not None:
+        obs.enable()
+
+
+def _emit_run_report(args: argparse.Namespace,
+                     report: RunReport | None) -> None:
+    """Print and/or persist a run report per the shared obs flags."""
+    if report is None:
+        return
+    if getattr(args, "trace", False):
+        print(f"\n{report.summary()}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        report.write(metrics_out)
+        print(f"run report written to {metrics_out}")
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -202,6 +277,7 @@ def _command_fit(args: argparse.Namespace) -> int:
     if args.save_binarray is not None:
         save_bin_array(result.binner.bin_array, args.save_binarray)
         print(f"BinArray saved to {args.save_binarray}")
+    _emit_run_report(args, result.run_report)
     return 0
 
 
@@ -217,41 +293,67 @@ def _command_fit_all(args: argparse.Namespace) -> int:
             max_confidence_levels=args.confidence_levels,
         ),
     )
-    results = ARCS(config).fit_all(table, args.x, args.y, args.rhs)
+    arcs = ARCS(config)
+    results = arcs.fit_all(table, args.x, args.y, args.rhs)
     for value, result in results.items():
         print(f"\n=== {args.rhs} = {value} "
               f"({len(result.segmentation)} rules, "
               f"error {result.best_trial.report.error_rate:.4f}) ===")
         print(result.segmentation.describe())
+    _emit_run_report(args, arcs.last_run_report)
     return 0
 
 
 def _command_remine(args: argparse.Namespace) -> int:
-    bin_array = load_bin_array(args.binarray)
-    target = _coerce_target(args.target)
-    rhs_code = bin_array.rhs_encoding.code_of(target)
-    outcome = GridClusterer().cluster(
-        bin_array, rhs_code, args.min_support, args.min_confidence
-    )
-    segmentation = segmentation_from_outcome(
-        outcome, bin_array, rhs_code
-    )
+    with RunCapture("cli.remine", config={
+        "binarray": str(args.binarray),
+        "target": args.target,
+        "min_support": args.min_support,
+        "min_confidence": args.min_confidence,
+    }) as capture:
+        bin_array = load_bin_array(args.binarray)
+        record_occupancy(bin_array)
+        target = _coerce_target(args.target)
+        rhs_code = bin_array.rhs_encoding.code_of(target)
+        outcome = GridClusterer().cluster(
+            bin_array, rhs_code, args.min_support, args.min_confidence
+        )
+        segmentation = segmentation_from_outcome(
+            outcome, bin_array, rhs_code
+        )
     print(f"re-mined at support>={args.min_support} "
           f"confidence>={args.min_confidence}: "
           f"{len(segmentation)} rules")
+    print(f"BinArray occupancy: "
+          f"{format_occupancy(profile_bin_array(bin_array))}")
     print(segmentation.describe())
     if args.save_segmentation is not None:
         save_segmentation(segmentation, args.save_segmentation)
         print(f"segmentation saved to {args.save_segmentation}")
+    _emit_run_report(args, capture.report)
     return 0
 
 
 def _command_describe(args: argparse.Namespace) -> int:
     from repro.data.summary import format_profile, profile_table
-    specs = _infer_specs(args.data)
-    table = read_csv(args.data, specs)
-    print(format_profile(profile_table(table, top_k=args.top),
-                         len(table)))
+    with RunCapture("cli.describe",
+                    config={"data": str(args.data)}) as capture:
+        with trace("load"):
+            specs = _infer_specs(args.data)
+            table = read_csv(args.data, specs)
+        with trace("profile", tuples=len(table)):
+            profile = profile_table(table, top_k=args.top)
+    print(format_profile(profile, len(table)))
+    root = (capture.report.span_tree()
+            if capture.report is not None else None)
+    if root is not None:
+        spans = {
+            span.name: span.duration or 0.0 for _, span in root.walk()
+        }
+        print(f"\nprofiled {len(table):,} tuples in "
+              f"{spans.get('profile', 0.0):.3f}s "
+              f"(load {spans.get('load', 0.0):.3f}s)")
+    _emit_run_report(args, capture.report)
     return 0
 
 
@@ -261,15 +363,26 @@ def _command_inspect(args: argparse.Namespace) -> int:
           f"{segmentation.rhs_value} ({len(segmentation)} rules):")
     print(segmentation.describe())
     if args.evaluate is not None:
-        specs = _infer_specs(args.evaluate)
-        table = read_csv(args.evaluate, specs)
-        verifier = Verifier(
-            table, segmentation.rhs_attribute, segmentation.rhs_value,
-            sample_size=min(5000, len(table)), repeats=5,
-        )
+        with RunCapture("cli.inspect", config={
+            "segmentation": str(args.segmentation),
+            "evaluate": str(args.evaluate),
+        }) as capture:
+            specs = _infer_specs(args.evaluate)
+            table = read_csv(args.evaluate, specs)
+            verifier = Verifier(
+                table, segmentation.rhs_attribute,
+                segmentation.rhs_value,
+                sample_size=min(5000, len(table)), repeats=5,
+            )
+            error_rate = verifier.exact_error_rate(segmentation)
         print(f"\nerror rate on {args.evaluate} "
-              f"({len(table):,} tuples): "
-              f"{verifier.exact_error_rate(segmentation):.4f}")
+              f"({len(table):,} tuples): {error_rate:.4f}")
+        if capture.report is not None:
+            counters = capture.report.counters()
+            scanned = counters.get("verifier.tuples_scanned", 0)
+            duration = capture.report.duration_seconds
+            print(f"scanned {scanned:,} tuples in {duration:.3f}s")
+        _emit_run_report(args, capture.report)
     return 0
 
 
@@ -287,7 +400,15 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    was_enabled = obs.enabled()
+    _configure_observability(args)
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        # Don't leak flag-driven enablement into embedding processes
+        # (tests call main() in-process).
+        if not was_enabled and obs.enabled():
+            obs.disable()
 
 
 if __name__ == "__main__":

@@ -15,7 +15,9 @@ property — re-mining at different thresholds without touching the data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import logging
+
+from dataclasses import asdict, dataclass, field
 
 from repro.core.segmentation import Segmentation
 from repro.binning.binner import Binner, bin_table
@@ -35,6 +37,10 @@ from repro.core.optimizer import (
 )
 from repro.core.verifier import Verifier
 from repro.data.schema import Table
+from repro.obs import trace
+from repro.obs.report import RunCapture, RunReport
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -105,6 +111,10 @@ class ARCSResult:
     stopped_by:
         Why the search ended (``"no improvement"``, ``"time budget"`` or
         ``"exhausted"``).
+    run_report:
+        The :class:`~repro.obs.report.RunReport` of this fit (span tree,
+        metrics, config fingerprint) when observability was enabled via
+        :func:`repro.obs.enable`; ``None`` otherwise.
     """
 
     segmentation: Segmentation
@@ -115,6 +125,7 @@ class ARCSResult:
     rhs_code: int
     clusterer: GridClusterer
     stopped_by: str
+    run_report: RunReport | None = None
 
     @property
     def rules(self):
@@ -151,9 +162,17 @@ class ARCS:
         arcs = ARCS()
         result = arcs.fit(table, "age", "salary", "group", "A")
         print(result.segmentation.describe())
+
+    After a call to :meth:`fit` or :meth:`fit_all` with observability
+    enabled, :attr:`last_run_report` holds the run's
+    :class:`~repro.obs.report.RunReport` (``fit_all`` produces one
+    report covering every criterion value).
     """
 
     config: ARCSConfig = field(default_factory=ARCSConfig)
+    last_run_report: RunReport | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def fit(self, table: Table, x_attribute: str, y_attribute: str,
             rhs_attribute: str, target_value,
@@ -167,42 +186,60 @@ class ARCS:
         ``on_trial`` is called with each optimizer
         :class:`~repro.core.optimizer.TrialRecord` as it completes
         (progress reporting).
+
+        When observability is enabled (:func:`repro.obs.enable`) the
+        whole fit runs under a run capture and the resulting
+        :class:`~repro.obs.report.RunReport` is attached to the returned
+        result as ``run_report``.
         """
         config = self.config
-        if config.auto_bins:
-            bins = suggest_bin_count(len(table))
-            n_bins_x = n_bins_y = bins
-        else:
-            n_bins_x, n_bins_y = config.n_bins_x, config.n_bins_y
-        binner = bin_table(
-            table, x_attribute, y_attribute, rhs_attribute,
-            n_bins_x=n_bins_x,
-            n_bins_y=n_bins_y,
-            strategy=config.binning_strategy,
-            target_value=(
-                target_value if config.single_target_memory else None
-            ),
+        logger.info(
+            "ARCS.fit: %d tuples, LHS (%s, %s), criterion %s = %r",
+            len(table), x_attribute, y_attribute, rhs_attribute,
+            target_value,
         )
-        rhs_code = binner.rhs_encoding.code_of(target_value)
-        clusterer = GridClusterer(config.clusterer)
-        verifier = Verifier(
-            table=verification_table or table,
-            rhs_attribute=rhs_attribute,
-            target_value=target_value,
-            sample_size=config.sample_size,
-            repeats=config.sample_repeats,
-            seed=config.seed,
-        )
-        optimizer = HeuristicOptimizer(
-            clusterer=clusterer,
-            verifier=verifier,
-            weights=config.mdl_weights,
-            config=config.optimizer,
-            on_trial=on_trial,
-        )
-        search: OptimizerResult = optimizer.search(
-            binner.bin_array, rhs_code
-        )
+        with RunCapture("arcs.fit", config={
+            "arcs": asdict(config),
+            "x_attribute": x_attribute,
+            "y_attribute": y_attribute,
+            "rhs_attribute": rhs_attribute,
+            "target_value": target_value,
+        }) as capture:
+            if config.auto_bins:
+                bins = suggest_bin_count(len(table))
+                n_bins_x = n_bins_y = bins
+            else:
+                n_bins_x, n_bins_y = config.n_bins_x, config.n_bins_y
+            binner = bin_table(
+                table, x_attribute, y_attribute, rhs_attribute,
+                n_bins_x=n_bins_x,
+                n_bins_y=n_bins_y,
+                strategy=config.binning_strategy,
+                target_value=(
+                    target_value if config.single_target_memory else None
+                ),
+            )
+            rhs_code = binner.rhs_encoding.code_of(target_value)
+            clusterer = GridClusterer(config.clusterer)
+            verifier = Verifier(
+                table=verification_table or table,
+                rhs_attribute=rhs_attribute,
+                target_value=target_value,
+                sample_size=config.sample_size,
+                repeats=config.sample_repeats,
+                seed=config.seed,
+            )
+            optimizer = HeuristicOptimizer(
+                clusterer=clusterer,
+                verifier=verifier,
+                weights=config.mdl_weights,
+                config=config.optimizer,
+                on_trial=on_trial,
+            )
+            search: OptimizerResult = optimizer.search(
+                binner.bin_array, rhs_code
+            )
+        self.last_run_report = capture.report
         return ARCSResult(
             segmentation=search.segmentation,
             best_trial=search.best,
@@ -212,6 +249,7 @@ class ARCS:
             rhs_code=rhs_code,
             clusterer=clusterer,
             stopped_by=search.stopped_by,
+            run_report=capture.report,
         )
 
     def fit_all(self, table: Table, x_attribute: str, y_attribute: str,
@@ -237,47 +275,59 @@ class ARCS:
                 "fit_all needs the full BinArray; disable "
                 "single_target_memory"
             )
-        if config.auto_bins:
-            bins = suggest_bin_count(len(table))
-            n_bins_x = n_bins_y = bins
-        else:
-            n_bins_x, n_bins_y = config.n_bins_x, config.n_bins_y
-        binner = bin_table(
-            table, x_attribute, y_attribute, rhs_attribute,
-            n_bins_x=n_bins_x,
-            n_bins_y=n_bins_y,
-            strategy=config.binning_strategy,
-        )
-        clusterer = GridClusterer(config.clusterer)
+        with RunCapture("arcs.fit_all", config={
+            "arcs": asdict(config),
+            "x_attribute": x_attribute,
+            "y_attribute": y_attribute,
+            "rhs_attribute": rhs_attribute,
+        }) as capture:
+            if config.auto_bins:
+                bins = suggest_bin_count(len(table))
+                n_bins_x = n_bins_y = bins
+            else:
+                n_bins_x, n_bins_y = config.n_bins_x, config.n_bins_y
+            binner = bin_table(
+                table, x_attribute, y_attribute, rhs_attribute,
+                n_bins_x=n_bins_x,
+                n_bins_y=n_bins_y,
+                strategy=config.binning_strategy,
+            )
+            clusterer = GridClusterer(config.clusterer)
 
-        results = {}
-        for rhs_value in binner.rhs_encoding.values:
-            rhs_code = binner.rhs_encoding.code_of(rhs_value)
-            if not binner.bin_array.count_grid(rhs_code).any():
-                continue
-            verifier = Verifier(
-                table=verification_table or table,
-                rhs_attribute=rhs_attribute,
-                target_value=rhs_value,
-                sample_size=config.sample_size,
-                repeats=config.sample_repeats,
-                seed=config.seed,
-            )
-            optimizer = HeuristicOptimizer(
-                clusterer=clusterer,
-                verifier=verifier,
-                weights=config.mdl_weights,
-                config=config.optimizer,
-            )
-            search = optimizer.search(binner.bin_array, rhs_code)
-            results[rhs_value] = ARCSResult(
-                segmentation=search.segmentation,
-                best_trial=search.best,
-                history=search.history,
-                binner=binner,
-                outcome=search.outcome,
-                rhs_code=rhs_code,
-                clusterer=clusterer,
-                stopped_by=search.stopped_by,
-            )
+            results = {}
+            for rhs_value in binner.rhs_encoding.values:
+                rhs_code = binner.rhs_encoding.code_of(rhs_value)
+                if not binner.bin_array.count_grid(rhs_code).any():
+                    logger.debug("skipping %s = %r: no occurrences",
+                                 rhs_attribute, rhs_value)
+                    continue
+                verifier = Verifier(
+                    table=verification_table or table,
+                    rhs_attribute=rhs_attribute,
+                    target_value=rhs_value,
+                    sample_size=config.sample_size,
+                    repeats=config.sample_repeats,
+                    seed=config.seed,
+                )
+                optimizer = HeuristicOptimizer(
+                    clusterer=clusterer,
+                    verifier=verifier,
+                    weights=config.mdl_weights,
+                    config=config.optimizer,
+                )
+                with trace("fit_value", rhs_value=rhs_value):
+                    search = optimizer.search(
+                        binner.bin_array, rhs_code
+                    )
+                results[rhs_value] = ARCSResult(
+                    segmentation=search.segmentation,
+                    best_trial=search.best,
+                    history=search.history,
+                    binner=binner,
+                    outcome=search.outcome,
+                    rhs_code=rhs_code,
+                    clusterer=clusterer,
+                    stopped_by=search.stopped_by,
+                )
+        self.last_run_report = capture.report
         return results

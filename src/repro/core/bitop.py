@@ -26,6 +26,8 @@ shapes, producing false positives BitOp avoids).
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -33,6 +35,9 @@ import numpy as np
 
 from repro.core.grid import RuleGrid
 from repro.core.rules import GridRect
+from repro.obs import metrics, trace
+
+logger = logging.getLogger(__name__)
 
 
 def runs_of_set_bits(mask: int) -> list[tuple[int, int]]:
@@ -85,6 +90,7 @@ def enumerate_rectangles(rows: Sequence[int]) -> list[GridRect]:
             height += 1
         if mask:
             _emit(candidates, mask, start, height)
+    metrics.inc("bitop.rectangles_enumerated", len(candidates))
     return sorted(candidates)
 
 
@@ -141,19 +147,24 @@ class BitOpClusterer:
         """
         if self.min_cells < 1:
             raise ValueError("min_cells must be at least 1")
-        working = grid.copy()
-        rows = working.row_bitmaps()
-        clusters: list[GridRect] = []
-        while True:
-            if self.max_clusters is not None and (
-                len(clusters) >= self.max_clusters
-            ):
-                break
-            best = largest_rectangle(rows)
-            if best is None or best.area < self.min_cells:
-                break
-            clusters.append(best)
-            _clear_rows(rows, best)
+        with trace("bitop") as span:
+            working = grid.copy()
+            rows = working.row_bitmaps()
+            clusters: list[GridRect] = []
+            while True:
+                if self.max_clusters is not None and (
+                    len(clusters) >= self.max_clusters
+                ):
+                    break
+                best = largest_rectangle(rows)
+                if best is None or best.area < self.min_cells:
+                    break
+                clusters.append(best)
+                _clear_rows(rows, best)
+            metrics.inc("bitop.clusters_found", len(clusters))
+            span.set("clusters_found", len(clusters))
+            logger.debug("BitOp covered the grid with %d rectangles",
+                         len(clusters))
         return clusters
 
 

@@ -22,6 +22,8 @@ smoothing is off, and the verifier/MDL loop governs quality either way.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass, field
 
 from repro.binning.bin_array import BinArray
@@ -32,6 +34,9 @@ from repro.core.pruning import PruningReport, prune_clusters
 from repro.core.rules import ClusteredRule, GridRect, Interval
 from repro.core.smoothing import smooth_binary, smooth_support
 from repro.mining.engine import rule_pairs
+from repro.obs import trace
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -103,26 +108,44 @@ class GridClusterer:
                 min_support: float,
                 min_confidence: float) -> ClusteringOutcome:
         """Produce clustered rules at the given thresholds."""
-        pairs = rule_pairs(bin_array, rhs_code, min_support, min_confidence)
-        raw_grid = RuleGrid.from_pairs(
-            pairs, bin_array.n_x, bin_array.n_y
-        )
-        smoothed = self._smooth(raw_grid, bin_array, rhs_code, min_support)
-        bitop = BitOpClusterer(min_cells=self.config.min_cluster_cells)
-        found = bitop.cluster(smoothed)
-        if self.config.merge_clusters:
-            found = merge_clusters(
-                found, smoothed,
-                cover_fraction=self.config.merge_cover_fraction,
+        with trace("cluster", min_support=min_support,
+                   min_confidence=min_confidence):
+            pairs = rule_pairs(
+                bin_array, rhs_code, min_support, min_confidence
             )
-        pruning = prune_clusters(
-            found, (bin_array.n_x, bin_array.n_y),
-            fraction=self.config.prune_fraction,
-        )
-        rules = tuple(
-            clustered_rule_from_rect(rect, bin_array, rhs_code)
-            for rect in pruning.kept
-        )
+            raw_grid = RuleGrid.from_pairs(
+                pairs, bin_array.n_x, bin_array.n_y
+            )
+            smoothed = self._smooth(
+                raw_grid, bin_array, rhs_code, min_support
+            )
+            bitop = BitOpClusterer(
+                min_cells=self.config.min_cluster_cells
+            )
+            found = bitop.cluster(smoothed)
+            if self.config.merge_clusters:
+                with trace("merge") as span:
+                    merged = merge_clusters(
+                        found, smoothed,
+                        cover_fraction=self.config.merge_cover_fraction,
+                    )
+                    span.set("clusters_before", len(found))
+                    span.set("clusters_after", len(merged))
+                    found = merged
+            with trace("prune"):
+                pruning = prune_clusters(
+                    found, (bin_array.n_x, bin_array.n_y),
+                    fraction=self.config.prune_fraction,
+                )
+            rules = tuple(
+                clustered_rule_from_rect(rect, bin_array, rhs_code)
+                for rect in pruning.kept
+            )
+            logger.debug(
+                "clustered %d qualifying cells into %d rules "
+                "(support>=%g confidence>=%g)",
+                len(pairs), len(rules), min_support, min_confidence,
+            )
         return ClusteringOutcome(
             raw_grid=raw_grid,
             smoothed_grid=smoothed,

@@ -21,10 +21,14 @@ pair remains.
 
 from __future__ import annotations
 
+import logging
+
 from typing import Sequence
 
 from repro.core.grid import RuleGrid
 from repro.core.rules import GridRect
+
+logger = logging.getLogger(__name__)
 
 
 def hull_cover_fraction(grid: RuleGrid, rect: GridRect) -> float:
@@ -85,6 +89,11 @@ def merge_clusters(clusters: Sequence[GridRect], grid: RuleGrid,
         if trimmed is not None:
             survivors.append(trimmed)
         merged = survivors
+    if len(merged) != len(clusters):
+        logger.debug(
+            "hull-merged %d clusters into %d (cover_fraction=%g)",
+            len(clusters), len(merged), cover_fraction,
+        )
     return merged
 
 

@@ -24,8 +24,10 @@ data passes.
 
 from __future__ import annotations
 
+import logging
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from dataclasses import replace as _replace
 
 import numpy as np
 
@@ -34,6 +36,10 @@ from repro.binning.bin_array import BinArray
 from repro.core.clusterer import ClusteringOutcome, GridClusterer
 from repro.core.mdl import MDLWeights
 from repro.core.verifier import VerificationReport, Verifier
+from repro.obs import metrics, trace
+from repro.obs.report import RunCapture, RunReport
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -162,6 +168,7 @@ class OptimizerResult:
     outcome: ClusteringOutcome
     history: tuple[TrialRecord, ...]
     stopped_by: str
+    run_report: RunReport | None = None
 
     @property
     def n_trials(self) -> int:
@@ -189,7 +196,24 @@ class HeuristicOptimizer:
 
         Returns the lowest-MDL segmentation found.  Raises ``ValueError``
         when the target value never occurs (there is nothing to segment).
+
+        When observability is enabled the search runs under a
+        :class:`~repro.obs.report.RunCapture`: standalone searches get
+        their own :class:`~repro.obs.report.RunReport` on
+        ``result.run_report``, while a search inside ``ARCS.fit``
+        contributes a child span to the enclosing run's report instead.
         """
+        with RunCapture("optimizer.search", config={
+            "optimizer": asdict(self.config),
+            "mdl_weights": asdict(self.weights),
+        }) as capture:
+            result = self._search(bin_array, rhs_code)
+        if capture.report is not None:
+            result = _replace(result, run_report=capture.report)
+        return result
+
+    def _search(self, bin_array: BinArray,
+                rhs_code: int) -> OptimizerResult:
         lattice = ThresholdLattice(bin_array, rhs_code)
         supports = lattice.coarsen_supports(self.config.max_support_levels)
         if not supports:
@@ -217,9 +241,18 @@ class HeuristicOptimizer:
             )
             level_improved = False
             for confidence in confidences:
-                trial, artifacts = self._run_trial(
-                    bin_array, rhs_code, support, confidence
-                )
+                metrics.inc("optimizer.trials")
+                trial_start = time.perf_counter()
+                with trace("optimizer.trial", min_support=support,
+                           min_confidence=confidence) as span:
+                    trial, artifacts = self._run_trial(
+                        bin_array, rhs_code, support, confidence
+                    )
+                    span.set("n_clusters", trial.n_clusters)
+                    span.set("mdl_cost", trial.mdl_cost)
+                metrics.observe("optimizer.trial_seconds",
+                                time.perf_counter() - trial_start)
+                logger.debug("trial %s", trial)
                 history.append(trial)
                 if self.on_trial is not None:
                     self.on_trial(trial)
@@ -241,6 +274,10 @@ class HeuristicOptimizer:
         if best is None or best_artifacts is None:
             raise ValueError("optimizer made no trials")
         segmentation, outcome = best_artifacts
+        logger.info(
+            "threshold search stopped by %s after %d trials; best %s",
+            stopped_by, len(history), best,
+        )
         return OptimizerResult(
             best=best,
             segmentation=segmentation,

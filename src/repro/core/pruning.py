@@ -9,10 +9,15 @@ pruning happens — the set passes through untouched.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.rules import GridRect
+from repro.obs import metrics
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -54,4 +59,9 @@ def prune_clusters(clusters: Sequence[GridRect],
     threshold = min_cells_for(grid_shape, fraction)
     kept = tuple(rect for rect in clusters if rect.area >= threshold)
     dropped = tuple(rect for rect in clusters if rect.area < threshold)
+    metrics.inc("pruning.clusters_dropped", len(dropped))
+    metrics.inc("pruning.clusters_kept", len(kept))
+    if dropped:
+        logger.debug("pruning dropped %d of %d clusters (< %d cells)",
+                     len(dropped), len(clusters), threshold)
     return PruningReport(kept=kept, dropped=dropped, min_cells=threshold)

@@ -18,9 +18,14 @@ implements that variant.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from repro.core.grid import RuleGrid
+from repro.obs import metrics, trace
+
+logger = logging.getLogger(__name__)
 
 
 def neighbourhood_mean(values: np.ndarray, radius: int = 1) -> np.ndarray:
@@ -59,11 +64,18 @@ def smooth_binary(grid: RuleGrid, threshold: float = 0.5,
         raise ValueError("threshold must be in (0, 1]")
     if passes < 0:
         raise ValueError("passes must be non-negative")
-    cells = grid.cells.astype(np.float64)
-    for _ in range(passes):
-        cells = (neighbourhood_mean(cells, radius=radius) >= threshold)
-        cells = cells.astype(np.float64)
-    return RuleGrid(cells.astype(bool))
+    with trace("smooth", variant="binary", passes=passes) as span:
+        cells = grid.cells.astype(np.float64)
+        for _ in range(passes):
+            cells = (neighbourhood_mean(cells, radius=radius) >= threshold)
+            cells = cells.astype(np.float64)
+        smoothed = cells.astype(bool)
+        flipped = int(np.sum(smoothed != grid.cells))
+        metrics.inc("smoothing.cells_flipped", flipped)
+        span.set("cells_flipped", flipped)
+        logger.debug("binary smoothing flipped %d cells (%d passes)",
+                     flipped, passes)
+    return RuleGrid(smoothed)
 
 
 def smooth_support(support_grid: np.ndarray, min_support: float,
@@ -81,7 +93,15 @@ def smooth_support(support_grid: np.ndarray, min_support: float,
         raise ValueError("min_support must be non-negative")
     if passes < 1:
         raise ValueError("passes must be at least 1")
-    values = np.asarray(support_grid, dtype=np.float64)
-    for _ in range(passes):
-        values = neighbourhood_mean(values, radius=radius)
-    return RuleGrid(values >= min_support)
+    with trace("smooth", variant="support", passes=passes) as span:
+        values = np.asarray(support_grid, dtype=np.float64)
+        original = values >= min_support
+        for _ in range(passes):
+            values = neighbourhood_mean(values, radius=radius)
+        smoothed = values >= min_support
+        flipped = int(np.sum(smoothed != original))
+        metrics.inc("smoothing.cells_flipped", flipped)
+        span.set("cells_flipped", flipped)
+        logger.debug("support smoothing flipped %d cells (%d passes)",
+                     flipped, passes)
+    return RuleGrid(smoothed)

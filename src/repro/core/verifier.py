@@ -15,6 +15,8 @@ quantifies how tight.  The MDL scorer consumes the mean error count.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,6 +24,9 @@ import numpy as np
 from repro.core.segmentation import Segmentation
 from repro.data.sampling import mean_and_stderr, repeated_k_of_n
 from repro.data.schema import Table
+from repro.obs import metrics, trace
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -81,30 +86,46 @@ class Verifier:
 
     def verify(self, segmentation: Segmentation) -> VerificationReport:
         """Estimate the segmentation's error by repeated sampling."""
-        labels = self.table.column(self.rhs_attribute)
-        is_target = np.asarray(
-            [label == self.target_value for label in labels], dtype=bool
-        )
-        x_values = self.table.column(segmentation.x_attribute)
-        y_values = self.table.column(segmentation.y_attribute)
-        covered = segmentation.covers(x_values, y_values)
-
-        rng = np.random.default_rng(self.seed)
-        fp_counts, fn_counts, rates = [], [], []
-        n = len(self.table)
-        for indices in repeated_k_of_n(
-            n, self.sample_size, self.repeats, rng
-        ):
-            sample_covered = covered[indices]
-            sample_target = is_target[indices]
-            false_positives = int(np.sum(sample_covered & ~sample_target))
-            false_negatives = int(np.sum(~sample_covered & sample_target))
-            fp_counts.append(false_positives)
-            fn_counts.append(false_negatives)
-            rates.append(
-                (false_positives + false_negatives) / self.sample_size
+        with trace("verify", sample_size=self.sample_size,
+                   repeats=self.repeats) as span:
+            labels = self.table.column(self.rhs_attribute)
+            is_target = np.asarray(
+                [label == self.target_value for label in labels],
+                dtype=bool,
             )
-        mean_rate, stderr = mean_and_stderr(rates)
+            x_values = self.table.column(segmentation.x_attribute)
+            y_values = self.table.column(segmentation.y_attribute)
+            covered = segmentation.covers(x_values, y_values)
+
+            rng = np.random.default_rng(self.seed)
+            fp_counts, fn_counts, rates = [], [], []
+            n = len(self.table)
+            for indices in repeated_k_of_n(
+                n, self.sample_size, self.repeats, rng
+            ):
+                sample_covered = covered[indices]
+                sample_target = is_target[indices]
+                false_positives = int(
+                    np.sum(sample_covered & ~sample_target)
+                )
+                false_negatives = int(
+                    np.sum(~sample_covered & sample_target)
+                )
+                fp_counts.append(false_positives)
+                fn_counts.append(false_negatives)
+                rates.append(
+                    (false_positives + false_negatives) / self.sample_size
+                )
+            mean_rate, stderr = mean_and_stderr(rates)
+            metrics.inc("verifier.samples_drawn", self.repeats)
+            metrics.inc("verifier.tuples_sampled",
+                        self.repeats * self.sample_size)
+            span.set("error_rate", mean_rate)
+            logger.debug(
+                "verified %d rules on %d x %d samples: error %.4f",
+                len(segmentation), self.repeats, self.sample_size,
+                mean_rate,
+            )
         return VerificationReport(
             mean_false_positives=float(np.mean(fp_counts)),
             mean_false_negatives=float(np.mean(fn_counts)),
@@ -118,15 +139,20 @@ class Verifier:
         """Full-table FP+FN rate (no sampling) — the ground truth the
         sampled estimate approximates; used by tests and the figure
         benchmarks where determinism matters more than speed."""
-        labels = self.table.column(self.rhs_attribute)
-        is_target = np.asarray(
-            [label == self.target_value for label in labels], dtype=bool
-        )
-        covered = segmentation.covers(
-            self.table.column(segmentation.x_attribute),
-            self.table.column(segmentation.y_attribute),
-        )
-        errors = np.sum(covered & ~is_target) + np.sum(
-            ~covered & is_target
-        )
-        return float(errors) / len(self.table)
+        with trace("verify.exact", tuples=len(self.table)) as span:
+            labels = self.table.column(self.rhs_attribute)
+            is_target = np.asarray(
+                [label == self.target_value for label in labels],
+                dtype=bool,
+            )
+            covered = segmentation.covers(
+                self.table.column(segmentation.x_attribute),
+                self.table.column(segmentation.y_attribute),
+            )
+            errors = np.sum(covered & ~is_target) + np.sum(
+                ~covered & is_target
+            )
+            rate = float(errors) / len(self.table)
+            metrics.inc("verifier.tuples_scanned", len(self.table))
+            span.set("error_rate", rate)
+        return rate

@@ -11,10 +11,13 @@ without materialising them.
 from __future__ import annotations
 
 import csv
+import logging
 from pathlib import Path
 from typing import Iterator, Sequence
 
 from repro.data.schema import AttributeSpec, Table
+
+logger = logging.getLogger(__name__)
 
 
 def write_csv(table: Table, path: str | Path) -> None:
@@ -62,6 +65,8 @@ def read_csv(path: str | Path, specs: Sequence[AttributeSpec]) -> Table:
     table = chunks[0]
     for chunk in chunks[1:]:
         table = table.concat(chunk)
+    logger.debug("read %d tuples from %s (%d chunks)",
+                 len(table), path, len(chunks))
     return table
 
 

@@ -7,6 +7,11 @@ range, mean, quartiles and a coarse text histogram for quantitative
 columns; cardinality and top values for categorical ones — and
 :func:`format_profile` renders them for the terminal (the CLI's
 ``arcs describe`` command).
+
+The same module owns the *bin-occupancy* statistics of a populated
+BinArray (:func:`profile_bin_array`), so the binner's occupancy gauges,
+the CLI's ``remine`` output and any ad-hoc inspection all share one
+implementation.
 """
 
 from __future__ import annotations
@@ -91,6 +96,50 @@ def profile_table(table: Table,
                 )
             )
     return profiles
+
+
+@dataclass(frozen=True)
+class OccupancyProfile:
+    """Bin-occupancy statistics of one populated BinArray."""
+
+    grid_cells: int
+    occupied_cells: int
+    n_tuples: int
+    max_cell_count: int
+    mean_occupied_count: float
+
+    @property
+    def occupancy_fraction(self) -> float:
+        if self.grid_cells == 0:
+            return 0.0
+        return self.occupied_cells / self.grid_cells
+
+
+def profile_bin_array(bin_array) -> OccupancyProfile:
+    """Occupancy statistics of any BinArray-shaped object (``totals``
+    grid plus ``n_total``)."""
+    totals = np.asarray(bin_array.totals)
+    occupied = int(np.count_nonzero(totals))
+    return OccupancyProfile(
+        grid_cells=int(totals.size),
+        occupied_cells=occupied,
+        n_tuples=int(bin_array.n_total),
+        max_cell_count=int(totals.max()) if totals.size else 0,
+        mean_occupied_count=(
+            float(totals.sum() / occupied) if occupied else 0.0
+        ),
+    )
+
+
+def format_occupancy(profile: OccupancyProfile) -> str:
+    """One-line terminal rendering of an :class:`OccupancyProfile`."""
+    return (
+        f"{profile.n_tuples:,} tuples over {profile.grid_cells:,} cells: "
+        f"{profile.occupied_cells:,} occupied "
+        f"({profile.occupancy_fraction:.1%}), "
+        f"mean {profile.mean_occupied_count:.1f} / "
+        f"max {profile.max_cell_count} per occupied cell"
+    )
 
 
 def format_profile(profiles: list, n_rows: int) -> str:

@@ -19,11 +19,15 @@ matching a target item (the ARCS use case).
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Hashable, Iterable
 
 from repro.mining.itemsets import ItemsetCounter, frequent_itemsets
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -113,6 +117,11 @@ class AprioriMiner:
                                 confidence=confidence,
                             )
                         )
+        logger.debug(
+            "apriori: %d frequent itemsets -> %d rules at "
+            "support>=%g confidence>=%g",
+            len(supports), len(rules), min_support, min_confidence,
+        )
         return rules
 
     def mine_for_rhs(self, rhs_item: Hashable, min_support: float,

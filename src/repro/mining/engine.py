@@ -16,10 +16,15 @@ and the qualifying cells come out of one ``argwhere``.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from repro.binning.bin_array import BinArray
 from repro.core.rules import BinnedRule
+from repro.obs import metrics, trace
+
+logger = logging.getLogger(__name__)
 
 
 def rule_pairs(bin_array: BinArray, rhs_code: int, min_support: float,
@@ -32,18 +37,29 @@ def rule_pairs(bin_array: BinArray, rhs_code: int, min_support: float,
     ``>= min_support_count`` test.
     """
     _check_thresholds(min_support, min_confidence)
-    counts = bin_array.count_grid(rhs_code)
-    min_count = bin_array.n_total * min_support
-    with np.errstate(invalid="ignore", divide="ignore"):
-        confidence = np.where(
-            bin_array.totals > 0,
-            counts / bin_array.totals.astype(np.float64),
-            0.0,
+    with trace("mine", min_support=min_support,
+               min_confidence=min_confidence) as span:
+        counts = bin_array.count_grid(rhs_code)
+        min_count = bin_array.n_total * min_support
+        with np.errstate(invalid="ignore", divide="ignore"):
+            confidence = np.where(
+                bin_array.totals > 0,
+                counts / bin_array.totals.astype(np.float64),
+                0.0,
+            )
+        qualifying = (counts >= min_count) & (counts > 0) & (
+            confidence >= min_confidence
         )
-    qualifying = (counts >= min_count) & (counts > 0) & (
-        confidence >= min_confidence
-    )
-    return [(int(i), int(j)) for i, j in np.argwhere(qualifying)]
+        pairs = [(int(i), int(j)) for i, j in np.argwhere(qualifying)]
+        metrics.inc("engine.scans")
+        metrics.inc("engine.cells_qualified", len(pairs))
+        span.set("cells_qualified", len(pairs))
+        logger.debug(
+            "engine scan: %d/%d cells qualify at support>=%g "
+            "confidence>=%g", len(pairs), counts.size, min_support,
+            min_confidence,
+        )
+    return pairs
 
 
 def mine_binned_rules(bin_array: BinArray, rhs_code: int,

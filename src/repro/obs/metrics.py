@@ -1,0 +1,270 @@
+"""Process-local metrics: named counters, gauges and histograms.
+
+The pipeline reports *what happened* through a small fixed vocabulary of
+named instruments (see ``docs/observability.md`` for the catalogue):
+
+* **counters** — monotonically increasing totals
+  (``binner.tuples_binned``, ``optimizer.trials``);
+* **gauges** — last-written values (``binner.occupancy_fraction``);
+* **histograms** — count/total/min/max summaries of a value stream
+  (``optimizer.trial_seconds``).
+
+Metrics are **off by default**.  Instrumented code calls the module
+helpers :func:`inc`, :func:`set_gauge` and :func:`observe`, which are a
+single global read plus ``None`` check when disabled — cheap enough to
+leave in hot paths.  :func:`enable` installs a process-global
+:class:`MetricsRegistry`; the capture layer temporarily swaps in a fresh
+per-run registry so a :class:`~repro.obs.report.RunReport` contains
+exactly one run's numbers, then merges them back so process totals keep
+accumulating.
+
+The registry is guarded by a lock (instrument creation and snapshot);
+individual updates rely on the GIL like every mainstream Python metrics
+client, which is sufficient for ``+=`` on ints/floats.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "enable",
+    "disable",
+    "enabled",
+    "active",
+    "swap_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A streaming count/total/min/max summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    # ------------------------------------------------------------------
+    # Convenience emitters
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge / reset
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(
+                        self._counters.items()
+                    )
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(
+                        self._gauges.items()
+                    )
+                },
+                "histograms": {
+                    name: {
+                        "count": h.count,
+                        "total": h.total,
+                        "min": h.minimum,
+                        "max": h.maximum,
+                        "mean": h.mean,
+                    }
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Absorb another registry: counters add, gauges take the other's
+        value, histograms combine their summaries."""
+        snap = other.snapshot()
+        for name, value in snap["counters"].items():
+            self.counter(name).inc(value)
+        for name, value in snap["gauges"].items():
+            self.gauge(name).set(value)
+        for name, summary in snap["histograms"].items():
+            histogram = self.histogram(name)
+            histogram.count += summary["count"]
+            histogram.total += summary["total"]
+            for bound, pick in (("min", min), ("max", max)):
+                theirs = summary[bound]
+                if theirs is None:
+                    continue
+                ours = getattr(
+                    histogram, "minimum" if bound == "min" else "maximum"
+                )
+                merged = theirs if ours is None else pick(ours, theirs)
+                setattr(
+                    histogram,
+                    "minimum" if bound == "min" else "maximum",
+                    merged,
+                )
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and long-lived processes)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The active registry; ``None`` means metrics are disabled and every
+#: module-level emitter is a no-op.
+_active: MetricsRegistry | None = None
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install (and return) the process-global registry."""
+    global _active
+    if registry is None:
+        registry = _active if _active is not None else MetricsRegistry()
+    _active = registry
+    return registry
+
+
+def disable() -> None:
+    """Disable metrics collection; emitters become no-ops."""
+    global _active
+    _active = None
+
+
+def enabled() -> bool:
+    """Whether a registry is installed (metrics are being collected)."""
+    return _active is not None
+
+
+def active() -> MetricsRegistry | None:
+    """The currently installed registry, or ``None`` when disabled."""
+    return _active
+
+
+def swap_registry(
+    registry: MetricsRegistry | None,
+) -> MetricsRegistry | None:
+    """Atomically replace the active registry, returning the previous
+    one.  The capture layer uses this to scope metrics to a run."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Hot-path emitters: one global read + None check when disabled.
+# ----------------------------------------------------------------------
+def inc(name: str, amount: int | float = 1) -> None:
+    """Increment a counter on the active registry, if any."""
+    registry = _active
+    if registry is not None:
+        registry.inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry, if any."""
+    registry = _active
+    if registry is not None:
+        registry.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the active registry, if any."""
+    registry = _active
+    if registry is not None:
+        registry.observe(name, value)

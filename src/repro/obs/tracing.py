@@ -1,0 +1,207 @@
+"""Tracing spans: the wall-clock skeleton of an instrumented run.
+
+A :class:`Span` is a named, timed region of code with free-form
+attributes and child spans; one ARCS run produces a span *tree* whose
+root covers the whole run and whose leaves are the pipeline stages
+(bin, mine, smooth, bitop, prune, verify, ...).  Spans are created with
+:func:`trace`, used as context managers, and nest via a
+:mod:`contextvars` variable — so nesting is correct per thread and
+per async task without any locking on the hot path.
+
+Tracing is **off by default**.  When it is off — or when no run has
+installed a root span — :func:`trace` returns a shared no-op span, so
+instrumented code pays only a context-variable read.  The
+:class:`~repro.obs.report.RunCapture` context manager installs the root
+span; library code never needs to.
+
+Timing uses :func:`time.perf_counter` (monotonic, highest available
+resolution); the absolute start time of a run is recorded once by the
+capture layer with :func:`time.time` for humans.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from time import perf_counter
+
+__all__ = [
+    "Span",
+    "NOOP_SPAN",
+    "trace",
+    "current_span",
+    "enable",
+    "disable",
+    "enabled",
+]
+
+#: The innermost live span of the calling context (``None`` when no run
+#: is being traced, which is the disabled fast path).
+_current: ContextVar["Span | None"] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+_enabled: bool = False
+
+
+def enable() -> None:
+    """Allow run captures to install root spans."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Stop tracing: subsequent captures record nothing."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    """Whether tracing is globally enabled."""
+    return _enabled
+
+
+class Span:
+    """One named, timed region: a node of the run's span tree.
+
+    Use as a context manager; entering starts the clock and makes the
+    span the current parent, exiting stops the clock and restores the
+    previous parent.  An exception propagating through the span is
+    recorded in the ``error`` attribute but never swallowed.
+    """
+
+    __slots__ = (
+        "name", "attributes", "children", "started", "duration", "_token",
+    )
+
+    def __init__(self, name: str, attributes: dict | None = None):
+        self.name = name
+        self.attributes = dict(attributes) if attributes else {}
+        self.children: list[Span] = []
+        self.started: float | None = None
+        self.duration: float | None = None
+        self._token = None
+
+    def set(self, key: str, value) -> "Span":
+        """Attach one attribute; returns the span for chaining."""
+        self.attributes[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _current.set(self)
+        self.started = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = perf_counter() - self.started
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        _current.reset(self._token)
+        self._token = None
+        return False
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def self_seconds(self) -> float:
+        """Time spent in this span outside any child span."""
+        own = self.duration or 0.0
+        timed = sum(c.duration for c in self.children
+                    if c.duration is not None)
+        return max(0.0, own - timed)
+
+    def walk(self):
+        """Yield ``(depth, span)`` over the subtree, pre-order."""
+        stack = [(0, self)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(span.children):
+                stack.append((depth + 1, child))
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given name, pre-order."""
+        for _, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready nested representation of the subtree."""
+        payload: dict = {"name": self.name}
+        if self.duration is not None:
+            payload["duration_seconds"] = self.duration
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span tree serialized by :meth:`to_dict`."""
+        span = cls(payload["name"], payload.get("attributes"))
+        span.duration = payload.get("duration_seconds")
+        span.children = [
+            cls.from_dict(child) for child in payload.get("children", ())
+        ]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        timed = (
+            "unfinished" if self.duration is None
+            else f"{self.duration:.6f}s"
+        )
+        return (f"Span({self.name!r}, {timed}, "
+                f"{len(self.children)} children)")
+
+
+class _NoOpSpan:
+    """Shared stateless stand-in returned when tracing is inactive."""
+
+    __slots__ = ()
+    name = ""
+    attributes: dict = {}
+    children: tuple = ()
+    duration = None
+
+    def set(self, key: str, value) -> "_NoOpSpan":
+        return self
+
+    def __enter__(self) -> "_NoOpSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span (safe to reuse concurrently: it has no state).
+NOOP_SPAN = _NoOpSpan()
+
+
+def trace(name: str, **attributes):
+    """Open a child span under the current one, or a no-op when idle.
+
+    The returned object is a context manager either way, so call sites
+    read identically whether tracing is active or not::
+
+        with trace("bitop", grid=grid.n_x * grid.n_y):
+            ...
+
+    A span is only recorded while a run capture (or an explicitly
+    entered root :class:`Span`) is active in the calling context.
+    """
+    parent = _current.get()
+    if parent is None:
+        return NOOP_SPAN
+    span = Span(name, attributes)
+    parent.children.append(span)
+    return span
+
+
+def current_span():
+    """The innermost live span of this context, or ``None``."""
+    return _current.get()

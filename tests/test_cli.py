@@ -68,6 +68,45 @@ class TestFit:
         # Multiple trial lines precede the final report.
         assert out.count("clusters, error=") >= 3
 
+    def test_fit_metrics_out_writes_run_report(self, dataset, tmp_path,
+                                               capsys):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "fit", str(dataset),
+            "--x", "age", "--y", "salary",
+            "--rhs", "group", "--target", "A",
+            "--bins", "20",
+            "--support-levels", "3", "--confidence-levels", "3",
+            "--metrics-out", str(report_path),
+        ])
+        assert code == 0
+        assert "run report written" in capsys.readouterr().out
+        payload = json.loads(report_path.read_text())
+        assert payload["format"] == "arcs-run-report"
+        assert payload["name"] == "arcs.fit"
+        assert payload["trace"]["name"] == "arcs.fit"
+        counters = payload["metrics"]["counters"]
+        assert counters["binner.tuples_binned"] == 8000
+        assert counters["optimizer.trials"] >= 1
+        # The CLI-driven enablement must not leak into the process.
+        from repro import obs
+        assert not obs.enabled()
+
+    def test_fit_trace_prints_span_summary(self, dataset, capsys):
+        code = main([
+            "fit", str(dataset),
+            "--x", "age", "--y", "salary",
+            "--rhs", "group", "--target", "A",
+            "--bins", "20",
+            "--support-levels", "3", "--confidence-levels", "3",
+            "--trace",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run arcs.fit" in out
+        assert "optimizer.trial" in out
+        assert "binner.tuples_binned" in out
+
     def test_fit_saves_artefacts(self, dataset, tmp_path, capsys):
         seg_path = tmp_path / "seg.json"
         bins_path = tmp_path / "bins.npz"

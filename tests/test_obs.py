@@ -1,0 +1,345 @@
+"""Unit and integration tests for the observability layer (repro.obs)."""
+
+import json
+import threading
+
+import pytest
+
+import repro
+from repro import obs
+from repro.obs import metrics as metrics_mod
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    RunCapture,
+    RunReport,
+    config_fingerprint,
+)
+from repro.obs.tracing import NOOP_SPAN, Span, trace
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled():
+    """Every test starts and ends with observability fully off."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestSpan:
+    def test_nesting_builds_a_tree(self):
+        with Span("root") as root:
+            with trace("outer") as outer:
+                with trace("inner"):
+                    pass
+                with trace("inner"):
+                    pass
+        assert [c.name for c in root.children] == ["outer"]
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert root.duration is not None and root.duration >= 0.0
+        for _, span in root.walk():
+            assert span.duration is not None
+
+    def test_walk_is_preorder_with_depths(self):
+        with Span("a") as a:
+            with trace("b"):
+                with trace("c"):
+                    pass
+            with trace("d"):
+                pass
+        visited = [(depth, span.name) for depth, span in a.walk()]
+        assert visited == [(0, "a"), (1, "b"), (2, "c"), (1, "d")]
+
+    def test_find_locates_descendants(self):
+        with Span("root") as root:
+            with trace("stage"):
+                with trace("leaf"):
+                    pass
+        assert root.find("leaf").name == "leaf"
+        assert root.find("missing") is None
+
+    def test_exception_recorded_and_propagated(self):
+        with pytest.raises(ValueError):
+            with Span("root") as root:
+                with trace("failing"):
+                    raise ValueError("boom")
+        failing = root.find("failing")
+        assert failing.attributes["error"] == "ValueError"
+        assert failing.duration is not None
+        # The context variable is restored: new traces are no-ops again.
+        assert trace("after") is NOOP_SPAN
+
+    def test_attributes_and_set_chaining(self):
+        with Span("root") as root:
+            span = trace("stage", size=3)
+            with span:
+                span.set("found", 7).set("kept", 5)
+        stage = root.find("stage")
+        assert stage.attributes == {"size": 3, "found": 7, "kept": 5}
+
+    def test_self_seconds_excludes_children(self):
+        root = Span("root")
+        root.duration = 1.0
+        child = Span("child")
+        child.duration = 0.4
+        root.children.append(child)
+        assert root.self_seconds == pytest.approx(0.6)
+
+    def test_round_trip_through_dict(self):
+        with Span("root") as root:
+            with trace("stage", cells=9):
+                pass
+        rebuilt = Span.from_dict(root.to_dict())
+        assert rebuilt.name == "root"
+        assert rebuilt.duration == pytest.approx(root.duration)
+        assert rebuilt.children[0].attributes == {"cells": 9}
+
+    def test_threads_trace_independently(self):
+        seen = {}
+
+        def worker():
+            # A fresh thread has no current span: trace() is inert.
+            seen["span"] = trace("in-thread")
+
+        with Span("root") as root:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["span"] is NOOP_SPAN
+        assert root.children == []
+
+
+class TestTraceDisabled:
+    def test_trace_without_root_is_the_noop_singleton(self):
+        assert trace("anything") is NOOP_SPAN
+        assert trace("other", key=1) is NOOP_SPAN
+
+    def test_noop_span_accepts_the_full_api(self):
+        with trace("stage") as span:
+            assert span.set("key", "value") is span
+        assert tracing.current_span() is None
+
+
+class TestMetrics:
+    def test_counter_semantics(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 4)
+        assert registry.counter("hits").value == 5
+        with pytest.raises(ValueError):
+            registry.counter("hits").inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("occupancy", 0.25)
+        registry.set_gauge("occupancy", 0.75)
+        assert registry.gauge("occupancy").value == 0.75
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (2.0, 4.0, 6.0):
+            registry.observe("seconds", value)
+        histogram = registry.histogram("seconds")
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(12.0)
+        assert histogram.minimum == 2.0
+        assert histogram.maximum == 6.0
+        assert histogram.mean == pytest.approx(4.0)
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.inc("count", 2)
+        registry.set_gauge("level", 0.5)
+        registry.observe("seconds", 1.0)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["counters"] == {"count": 2}
+        assert snapshot["gauges"] == {"level": 0.5}
+        assert snapshot["histograms"]["seconds"]["count"] == 1
+
+    def test_merge_combines_instruments(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("count", 2)
+        b.inc("count", 3)
+        a.observe("seconds", 1.0)
+        b.observe("seconds", 5.0)
+        b.set_gauge("level", 0.9)
+        a.merge(b)
+        assert a.counter("count").value == 5
+        assert a.gauge("level").value == 0.9
+        histogram = a.histogram("seconds")
+        assert histogram.count == 2
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 5.0
+
+    def test_disabled_emitters_are_noops(self):
+        assert not metrics_mod.enabled()
+        metrics_mod.inc("ignored")
+        metrics_mod.set_gauge("ignored", 1.0)
+        metrics_mod.observe("ignored", 1.0)
+        assert metrics_mod.active() is None
+
+    def test_enable_installs_registry(self):
+        registry = metrics_mod.enable()
+        metrics_mod.inc("hits", 2)
+        assert registry.counter("hits").value == 2
+        metrics_mod.disable()
+        metrics_mod.inc("hits")
+        assert registry.counter("hits").value == 2
+
+
+class TestRunReport:
+    def _sample_report(self):
+        obs.enable()
+        with RunCapture("sample", config={"bins": 50}) as capture:
+            metrics_mod.inc("stage.items", 3)
+            with trace("stage"):
+                pass
+        return capture.report
+
+    def test_json_round_trip(self):
+        report = self._sample_report()
+        rebuilt = RunReport.from_json(report.to_json())
+        assert rebuilt.name == "sample"
+        assert rebuilt.counters() == {"stage.items": 3}
+        assert rebuilt.config["sha256"] == report.config["sha256"]
+        assert rebuilt.span_tree().find("stage") is not None
+
+    def test_write_and_read(self, tmp_path):
+        report = self._sample_report()
+        path = tmp_path / "report.json"
+        report.write(path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "arcs-run-report"
+        rebuilt = RunReport.read(path)
+        assert rebuilt.duration_seconds == pytest.approx(
+            report.duration_seconds
+        )
+
+    def test_rejects_foreign_payloads(self):
+        with pytest.raises(ValueError):
+            RunReport.from_dict({"format": "something-else"})
+
+    def test_summary_names_spans_and_counters(self):
+        report = self._sample_report()
+        summary = report.summary()
+        assert "sample" in summary
+        assert "stage" in summary
+        assert "stage.items" in summary
+
+    def test_config_fingerprint_is_deterministic(self):
+        first = config_fingerprint({"b": 2, "a": 1})
+        second = config_fingerprint({"a": 1, "b": 2})
+        assert first["sha256"] == second["sha256"]
+        assert first["values"] == {"a": 1, "b": 2}
+        different = config_fingerprint({"a": 1, "b": 3})
+        assert different["sha256"] != first["sha256"]
+
+
+class TestRunCapture:
+    def test_disabled_capture_produces_no_report(self):
+        with RunCapture("run") as capture:
+            with trace("stage"):
+                pass
+        assert capture.report is None
+
+    def test_nested_capture_degrades_to_child_span(self):
+        obs.enable()
+        with RunCapture("outer") as outer:
+            with RunCapture("inner") as inner:
+                with trace("leaf"):
+                    pass
+        assert inner.report is None
+        root = outer.report.span_tree()
+        assert root.find("inner") is not None
+        assert root.find("leaf") is not None
+
+    def test_metrics_merge_back_into_process_totals(self):
+        process = metrics_mod.enable()
+        tracing.enable()
+        metrics_mod.inc("hits", 1)
+        with RunCapture("run"):
+            metrics_mod.inc("hits", 5)
+        # The run's report isolates its own count ...
+        # ... and the process registry keeps the running total.
+        assert process.counter("hits").value == 6
+
+    def test_exception_still_produces_a_report(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with RunCapture("run") as capture:
+                raise RuntimeError("boom")
+        assert capture.report is not None
+        assert capture.report.span_tree().attributes["error"] == (
+            "RuntimeError"
+        )
+
+
+class TestPipelineIntegration:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return repro.generate_synthetic(
+            repro.SyntheticConfig(n_tuples=3000, function_id=2,
+                                  perturbation=0.05, seed=11)
+        )
+
+    def _small_arcs(self):
+        return repro.ARCS(repro.ARCSConfig(
+            n_bins_x=20, n_bins_y=20,
+            optimizer=repro.OptimizerConfig(
+                max_support_levels=4, max_confidence_levels=3,
+            ),
+        ))
+
+    def test_fit_attaches_a_complete_report(self, table):
+        obs.enable()
+        result = self._small_arcs().fit(
+            table, "age", "salary", "group", "A"
+        )
+        report = result.run_report
+        assert report is not None
+        root = report.span_tree()
+        for stage in ("bin", "optimizer.search", "optimizer.trial",
+                      "cluster", "mine", "smooth", "bitop", "merge",
+                      "prune", "verify"):
+            assert root.find(stage) is not None, stage
+        counters = report.counters()
+        for name in ("binner.tuples_binned", "engine.cells_qualified",
+                     "bitop.rectangles_enumerated", "optimizer.trials",
+                     "verifier.samples_drawn", "smoothing.cells_flipped",
+                     "pruning.clusters_dropped"):
+            assert name in counters, name
+        assert counters["binner.tuples_binned"] == len(table)
+        assert counters["optimizer.trials"] == len(result.history)
+        assert "binner.occupancy_fraction" in report.gauges()
+
+    def test_fit_without_obs_attaches_nothing(self, table):
+        result = self._small_arcs().fit(
+            table, "age", "salary", "group", "A"
+        )
+        assert result.run_report is None
+
+    def test_standalone_optimizer_search_gets_its_own_report(self, table):
+        from repro.binning.binner import bin_table
+        from repro.core.clusterer import GridClusterer
+        from repro.core.optimizer import (
+            HeuristicOptimizer,
+            OptimizerConfig,
+        )
+        from repro.core.verifier import Verifier
+
+        obs.enable()
+        binner = bin_table(table, "age", "salary", "group", 20, 20)
+        rhs_code = binner.rhs_encoding.code_of("A")
+        optimizer = HeuristicOptimizer(
+            clusterer=GridClusterer(),
+            verifier=Verifier(table, "group", "A",
+                              sample_size=500, repeats=2),
+            weights=repro.MDLWeights(),
+            config=OptimizerConfig(max_support_levels=3,
+                                   max_confidence_levels=3),
+        )
+        search = optimizer.search(binner.bin_array, rhs_code)
+        assert search.run_report is not None
+        assert search.run_report.name == "optimizer.search"
+        assert search.run_report.counters()["optimizer.trials"] >= 1

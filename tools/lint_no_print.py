@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Lint: no bare print() calls inside the library.
+
+The library communicates through logging (module loggers, NullHandler
+on the package root) and return values; printing belongs to the
+designated emitters only.  This walks the AST — a raw grep would
+false-positive on docstring examples — and fails listing every
+offending ``file:line``.
+
+Allowed emitters:
+
+* ``repro/cli.py`` — the command-line surface;
+* ``repro/viz/`` — ASCII rendering exists to be printed.
+
+Usage: ``python tools/lint_no_print.py [src/repro]``
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ALLOWED = ("cli.py", "viz/")
+
+
+def print_calls(path: Path) -> list[int]:
+    """Line numbers of print() calls in a Python source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    failures = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        if any(relative == allow or relative.startswith(allow)
+               for allow in ALLOWED):
+            continue
+        for lineno in print_calls(path):
+            failures.append(f"{path}:{lineno}")
+    if failures:
+        print("bare print() calls in library code "
+              "(use logging instead):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"no bare print() calls under {root} "
+          f"(emitters {', '.join(ALLOWED)} exempt)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
