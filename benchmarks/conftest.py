@@ -65,7 +65,7 @@ def emit(name: str, title: str, text: str, data=None) -> None:
         "version": 1,
         "name": name,
         "title": title,
-        "generated_at": time.time(),
+        "generated_at": time.time(),  # wall-clock: ok (artefact stamp)
         "text": text,
         "data": data,
     }

@@ -1,0 +1,335 @@
+#!/usr/bin/env python
+"""Perf-budget harness: pinned micro-benchmarks for the hot paths.
+
+Times each vectorised kernel against its scalar reference implementation
+(:mod:`repro.perf.reference`) on fixed synthetic inputs, writes the
+measurements to ``BENCH_hotpaths.json``, and compares the speedups
+against the checked-in budgets in ``benchmarks/perf_budgets.json``.
+A kernel that regresses below its budgeted speedup (minus the noise
+tolerance) fails the run — this is the CI perf gate.
+
+Budgets are *speedup ratios*, not wall-clock seconds: both sides of each
+ratio run in the same process on the same machine, so the gate holds on
+a loaded CI runner and a fast laptop alike.  Absolute seconds are still
+recorded in the report for humans.  Every benchmark also sanity-checks
+that the two implementations agree before timing them.
+
+Usage::
+
+    python benchmarks/perf_budget.py             # full sizes (100k tuples)
+    python benchmarks/perf_budget.py --quick     # small sizes for CI smoke
+    python benchmarks/perf_budget.py --rebaseline  # rewrite the budgets
+
+Exit status: 0 when every budget holds, 1 on any regression.
+See ``docs/performance.md`` for the file formats and the re-baselining
+policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any(
+    (Path(entry) / "repro").is_dir() for entry in sys.path if entry
+):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.binning.bin_array import BinArray  # noqa: E402
+from repro.binning.categorical import CategoricalEncoding  # noqa: E402
+from repro.binning.strategies import equi_width_layout  # noqa: E402
+from repro.core.grid import RuleGrid  # noqa: E402
+from repro.core.smoothing import neighbourhood_mean  # noqa: E402
+from repro.core.verifier import count_repeat_errors  # noqa: E402
+from repro.obs.timing import best_of  # noqa: E402
+from repro.perf import reference  # noqa: E402
+
+BUDGETS_PATH = Path(__file__).parent / "perf_budgets.json"
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_hotpaths.json"
+
+#: (full, quick) problem sizes per benchmark.
+SIZES = {
+    "binner": (100_000, 20_000),
+    "verifier": (100_000, 20_000),
+    "smoothing": (400, 160),
+    "bitop_masks": (512, 160),
+}
+
+
+def _sizes(quick: bool) -> dict[str, int]:
+    return {name: pair[1 if quick else 0] for name, pair in SIZES.items()}
+
+
+# ----------------------------------------------------------------------
+# Benchmarks.  Each returns a result dict with scalar/vectorized seconds
+# after asserting both implementations agree.
+# ----------------------------------------------------------------------
+def bench_binner(n: int, trials: int) -> dict:
+    """Bin n tuples into a 50x50 grid: scalar loop vs vectorised kernel."""
+    rng = np.random.default_rng(101)
+    x_values = rng.uniform(0.0, 100.0, n)
+    y_values = rng.uniform(0.0, 100.0, n)
+    codes = rng.integers(0, 2, n, dtype=np.int64)
+    x_layout = equi_width_layout("x", 0.0, 100.0, 50)
+    y_layout = equi_width_layout("y", 0.0, 100.0, 50)
+    encoding = CategoricalEncoding("group", ("A", "other"))
+
+    def scalar() -> BinArray:
+        cube = BinArray(x_layout, y_layout, encoding)
+        x_bins = reference.assign_bins_scalar(x_layout, x_values)
+        y_bins = reference.assign_bins_scalar(y_layout, y_values)
+        reference.add_chunk_scalar(cube, x_bins, y_bins, codes)
+        return cube
+
+    def vectorized() -> BinArray:
+        cube = BinArray(x_layout, y_layout, encoding)
+        cube.add_chunk(
+            x_layout.assign(x_values), y_layout.assign(y_values), codes
+        )
+        return cube
+
+    slow, fast = scalar(), vectorized()
+    assert np.array_equal(slow.counts, fast.counts), "binner kernels differ"
+    assert np.array_equal(slow.totals, fast.totals), "binner kernels differ"
+    return {
+        "name": "binner",
+        "n": n,
+        "unit": "tuples",
+        "scalar_seconds": best_of(scalar, trials=trials),
+        "vectorized_seconds": best_of(vectorized, trials=trials),
+    }
+
+
+def bench_verifier(n: int, trials: int) -> dict:
+    """FP/FN counting over 20 repeats of k-of-n sampling."""
+    rng = np.random.default_rng(202)
+    covered = rng.random(n) < 0.3
+    is_target = rng.random(n) < 0.25
+    sample_size = max(n // 20, 200)
+    repeats = list(range(20))
+
+    def scalar():
+        return reference.count_repeat_errors_scalar(
+            covered, is_target, sample_size, 7, repeats
+        )
+
+    def vectorized():
+        return count_repeat_errors(
+            covered, is_target, sample_size, 7, repeats
+        )
+
+    slow, fast = scalar(), vectorized()
+    assert np.array_equal(slow[0], fast[0]), "verifier kernels differ (FP)"
+    assert np.array_equal(slow[1], fast[1]), "verifier kernels differ (FN)"
+    return {
+        "name": "verifier",
+        "n": n,
+        "unit": "tuples",
+        "scalar_seconds": best_of(scalar, trials=trials),
+        "vectorized_seconds": best_of(vectorized, trials=trials),
+    }
+
+
+def bench_smoothing(n: int, trials: int) -> dict:
+    """Low-pass filter an n*n binary grid at radius 3: shift-and-add vs
+    summed-area table."""
+    rng = np.random.default_rng(303)
+    grid = (rng.random((n, n)) < 0.4).astype(np.float64)
+    radius = 3
+
+    def scalar():
+        return reference.neighbourhood_mean_scalar(grid, radius=radius)
+
+    def vectorized():
+        return neighbourhood_mean(grid, radius=radius)
+
+    assert np.allclose(scalar(), vectorized()), "smoothing kernels differ"
+    return {
+        "name": "smoothing",
+        "n": n,
+        "unit": "grid side",
+        "scalar_seconds": best_of(scalar, trials=trials),
+        "vectorized_seconds": best_of(vectorized, trials=trials),
+    }
+
+
+def bench_bitop_masks(n: int, trials: int) -> dict:
+    """Build BitOp's per-row integer masks for an n*n grid: per-cell OR
+    vs packbits."""
+    rng = np.random.default_rng(404)
+    grid = RuleGrid(rng.random((n, n)) < 0.5)
+
+    def scalar():
+        return reference.row_bitmaps_scalar(grid.cells)
+
+    def vectorized():
+        return grid.row_bitmaps()
+
+    assert scalar() == vectorized(), "bitop mask kernels differ"
+    return {
+        "name": "bitop_masks",
+        "n": n,
+        "unit": "grid side",
+        "scalar_seconds": best_of(scalar, trials=trials),
+        "vectorized_seconds": best_of(vectorized, trials=trials),
+    }
+
+
+BENCHMARKS = {
+    "binner": bench_binner,
+    "verifier": bench_verifier,
+    "smoothing": bench_smoothing,
+    "bitop_masks": bench_bitop_masks,
+}
+
+
+# ----------------------------------------------------------------------
+# Budget comparison and reporting
+# ----------------------------------------------------------------------
+def load_budgets(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    if payload.get("format") != "arcs-perf-budgets":
+        raise SystemExit(f"{path} is not an arcs-perf-budgets file")
+    return payload
+
+
+def apply_budget(result: dict, budget: dict | None,
+                 tolerance: float) -> dict:
+    """Annotate one measurement with its budget verdict (in place)."""
+    result["speedup"] = (
+        result["scalar_seconds"] / result["vectorized_seconds"]
+    )
+    if budget is None:
+        result["status"] = "no-budget"
+        return result
+    floor = budget["min_speedup"] * (1.0 - tolerance)
+    result["budget_min_speedup"] = budget["min_speedup"]
+    result["budget_floor"] = floor
+    result["status"] = "pass" if result["speedup"] >= floor else "fail"
+    return result
+
+
+def render(results: list[dict]) -> str:
+    header = (
+        f"{'benchmark':<12} {'n':>8} {'scalar':>12} {'vectorized':>12} "
+        f"{'speedup':>9} {'budget':>8} {'status':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        budget = result.get("budget_min_speedup")
+        lines.append(
+            f"{result['name']:<12} {result['n']:>8} "
+            f"{result['scalar_seconds']:>11.4f}s "
+            f"{result['vectorized_seconds']:>11.4f}s "
+            f"{result['speedup']:>8.1f}x "
+            f"{('%.1fx' % budget) if budget else '-':>8} "
+            f"{result['status']:>9}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(path: Path, results: list[dict], mode: str,
+                 tolerance: float, status: str) -> None:
+    payload = {
+        "format": "arcs-perf-report",
+        "version": 1,
+        "generated_at": time.time(),  # wall-clock: ok (artefact stamp)
+        "mode": mode,
+        "noise_tolerance": tolerance,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "status": status,
+        "results": results,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def rebaseline(results: list[dict], tolerance: float, path: Path) -> None:
+    """Rewrite the budget file from fresh measurements.
+
+    Budgeted speedups are set to half the measured speedup (and at least
+    1.0), leaving generous room for machine variation on top of the
+    noise tolerance; tighten by hand if a kernel's win must be defended
+    more aggressively.
+    """
+    budgets = {
+        result["name"]: {
+            "min_speedup": round(max(1.0, result["speedup"] / 2.0), 1)
+        }
+        for result in results
+    }
+    payload = {
+        "format": "arcs-perf-budgets",
+        "version": 1,
+        "noise_tolerance": tolerance,
+        "budgets": budgets,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"rebaselined budgets written to {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"report path (default {DEFAULT_OUT})")
+    parser.add_argument("--budgets", type=Path, default=BUDGETS_PATH,
+                        help=f"budget file (default {BUDGETS_PATH})")
+    parser.add_argument("--only", action="append", choices=BENCHMARKS,
+                        help="run a subset (repeatable)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="timing trials per kernel (default 5, "
+                             "3 with --quick)")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="rewrite the budget file from this run "
+                             "instead of gating on it")
+    args = parser.parse_args(argv)
+
+    budget_payload = load_budgets(args.budgets)
+    tolerance = float(budget_payload.get("noise_tolerance", 0.25))
+    budgets = budget_payload.get("budgets", {})
+    trials = args.trials or (3 if args.quick else 5)
+    sizes = _sizes(args.quick)
+    names = args.only or list(BENCHMARKS)
+
+    results = []
+    for name in names:
+        result = BENCHMARKS[name](sizes[name], trials)
+        apply_budget(result, budgets.get(name), tolerance)
+        results.append(result)
+
+    failed = [r for r in results if r["status"] == "fail"]
+    status = "fail" if failed else "pass"
+    mode = "quick" if args.quick else "full"
+    print(f"perf-budget run ({mode} mode, tolerance {tolerance:.0%}):\n")
+    print(render(results))
+    write_report(args.out, results, mode, tolerance, status)
+    print(f"\nreport written to {args.out}")
+
+    if args.rebaseline:
+        rebaseline(results, tolerance, args.budgets)
+        return 0
+    if failed:
+        names = ", ".join(r["name"] for r in failed)
+        print(f"\nPERF BUDGET EXCEEDED: {names} (see report). "
+              f"If the regression is intentional, re-baseline with "
+              f"--rebaseline and commit the budget change.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

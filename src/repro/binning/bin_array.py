@@ -85,22 +85,36 @@ class BinArray:
         ``x_bins``/``y_bins`` are bin indices from the layouts;
         ``rhs_codes`` are RHS codes from the encoding.  All three arrays
         must be the same length.
+
+        The scatter is a :func:`np.bincount` over flattened cell indices
+        (an order of magnitude faster than ``np.add.at``'s generic
+        buffered scatter; see ``benchmarks/perf_budget.py``).  Counts are
+        integers, so the result is bit-identical to the per-tuple
+        reference path (:func:`repro.perf.reference.add_chunk_scalar`).
         """
         x_bins = np.asarray(x_bins, dtype=np.int64)
         y_bins = np.asarray(y_bins, dtype=np.int64)
         rhs_codes = np.asarray(rhs_codes, dtype=np.int64)
         if not (len(x_bins) == len(y_bins) == len(rhs_codes)):
             raise ValueError("chunk arrays must have equal length")
-        np.add.at(self.totals, (x_bins, y_bins), 1)
+        if len(x_bins) == 0:
+            return
+        n_x, n_y = self.n_x, self.n_y
+        flat_cells = x_bins * n_y + y_bins
+        self.totals += np.bincount(
+            flat_cells, minlength=n_x * n_y
+        ).reshape(n_x, n_y)
         if self.single_target:
-            hits = rhs_codes == self.target_code
-            np.add.at(
-                self.counts,
-                (x_bins[hits], y_bins[hits], np.zeros(hits.sum(), np.intp)),
-                1,
-            )
+            hit_cells = flat_cells[rhs_codes == self.target_code]
+            self.counts[:, :, 0] += np.bincount(
+                hit_cells, minlength=n_x * n_y
+            ).reshape(n_x, n_y)
         else:
-            np.add.at(self.counts, (x_bins, y_bins, rhs_codes), 1)
+            n_seg = self.counts.shape[2]
+            flat = flat_cells * n_seg + rhs_codes
+            self.counts += np.bincount(
+                flat, minlength=n_x * n_y * n_seg
+            ).reshape(n_x, n_y, n_seg)
         self.n_total += len(x_bins)
 
     # ------------------------------------------------------------------

@@ -96,27 +96,41 @@ class RuleGrid:
         Python ints are arbitrary precision, so a row of any width is one
         "register" and the AND/shift operations BitOp needs are single
         operations, mirroring the paper's implementation note.
+
+        The masks are built by packing each boolean row into bytes with
+        :func:`np.packbits` and materialising one int per row, instead of
+        OR-ing ``1 << j`` per set cell — same values
+        (:func:`repro.perf.reference.row_bitmaps_scalar` is the oracle),
+        but the per-cell work happens inside NumPy.
         """
-        rows = []
-        for i in range(self.n_x):
-            row_bits = 0
-            for j in np.flatnonzero(self.cells[i]):
-                row_bits |= 1 << int(j)
-            rows.append(row_bits)
-        return rows
+        if self.n_y == 0:
+            return [0] * self.n_x
+        packed = np.packbits(self.cells, axis=1, bitorder="little")
+        return [
+            int.from_bytes(packed[i].tobytes(), "little")
+            for i in range(self.n_x)
+        ]
 
     @classmethod
     def from_row_bitmaps(cls, rows: Sequence[int], n_y: int) -> "RuleGrid":
         """Inverse of :meth:`row_bitmaps`."""
-        cells = np.zeros((len(rows), n_y), dtype=bool)
-        for i, row_bits in enumerate(rows):
-            j = 0
-            while row_bits:
-                if row_bits & 1:
-                    cells[i, j] = True
-                row_bits >>= 1
-                j += 1
-        return cls(cells)
+        n_bytes = (n_y + 7) // 8
+        if not rows or n_bytes == 0:
+            return cls(np.zeros((len(rows), n_y), dtype=bool))
+        try:
+            data = b"".join(
+                int(row).to_bytes(n_bytes, "little") for row in rows
+            )
+        except OverflowError:
+            raise ValueError(
+                f"row bitmap has bits beyond column {n_y - 1}"
+            ) from None
+        packed = np.frombuffer(data, dtype=np.uint8)
+        cells = np.unpackbits(
+            packed.reshape(len(rows), n_bytes), axis=1,
+            count=n_y, bitorder="little",
+        )
+        return cls(cells.astype(bool))
 
     # ------------------------------------------------------------------
     # Rectangle operations

@@ -28,27 +28,50 @@ from repro.obs import metrics, trace
 logger = logging.getLogger(__name__)
 
 
-def neighbourhood_mean(values: np.ndarray, radius: int = 1) -> np.ndarray:
-    """Mean of each cell's ``(2*radius+1)`` square neighbourhood (itself
-    included), with border neighbourhoods truncated at the grid edge rather
-    than padded — so an edge cell is never diluted by phantom zeros."""
+def window_sums(values: np.ndarray, radius: int,
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding ``(2*radius+1)`` square window sums and window sizes.
+
+    One 2-D convolution expressed through a summed-area table (double
+    cumulative sum, the paper's "low-pass filter" as array ops): each
+    window sum is four gathers into the integral image, so the cost is
+    independent of the radius — where the shift-and-add reference
+    (:func:`repro.perf.reference.neighbourhood_mean_scalar`) pays
+    ``(2r+1)^2`` grid passes.  Windows are truncated at the grid edge;
+    the returned ``counts`` are the actual window areas.
+
+    On 0/1 grids every partial sum is an exact small integer, so the
+    result is bit-identical to direct summation; on general floats it
+    agrees to normal cumulative-sum rounding.
+    """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 2:
         raise ValueError(f"expected a 2-D grid, got shape {values.shape}")
     if radius < 1:
         raise ValueError("radius must be at least 1")
-    padded_sum = np.zeros_like(values)
-    counts = np.zeros_like(values)
     n_x, n_y = values.shape
-    for dx in range(-radius, radius + 1):
-        for dy in range(-radius, radius + 1):
-            x_src = slice(max(0, -dx), min(n_x, n_x - dx))
-            y_src = slice(max(0, -dy), min(n_y, n_y - dy))
-            x_dst = slice(max(0, dx), min(n_x, n_x + dx))
-            y_dst = slice(max(0, dy), min(n_y, n_y + dy))
-            padded_sum[x_dst, y_dst] += values[x_src, y_src]
-            counts[x_dst, y_dst] += 1.0
-    return padded_sum / counts
+    integral = np.zeros((n_x + 1, n_y + 1), dtype=np.float64)
+    integral[1:, 1:] = values.cumsum(axis=0).cumsum(axis=1)
+    lo_x = np.maximum(np.arange(n_x) - radius, 0)
+    hi_x = np.minimum(np.arange(n_x) + radius + 1, n_x)
+    lo_y = np.maximum(np.arange(n_y) - radius, 0)
+    hi_y = np.minimum(np.arange(n_y) + radius + 1, n_y)
+    sums = (
+        integral[hi_x[:, None], hi_y[None, :]]
+        - integral[lo_x[:, None], hi_y[None, :]]
+        - integral[hi_x[:, None], lo_y[None, :]]
+        + integral[lo_x[:, None], lo_y[None, :]]
+    )
+    counts = ((hi_x - lo_x)[:, None] * (hi_y - lo_y)[None, :])
+    return sums, counts.astype(np.float64)
+
+
+def neighbourhood_mean(values: np.ndarray, radius: int = 1) -> np.ndarray:
+    """Mean of each cell's ``(2*radius+1)`` square neighbourhood (itself
+    included), with border neighbourhoods truncated at the grid edge rather
+    than padded — so an edge cell is never diluted by phantom zeros."""
+    sums, counts = window_sums(values, radius)
+    return sums / counts
 
 
 def smooth_binary(grid: RuleGrid, threshold: float = 0.5,

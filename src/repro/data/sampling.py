@@ -14,6 +14,21 @@ from typing import Iterator
 import numpy as np
 
 
+def repeat_rng(seed: int, repeat: int) -> np.random.Generator:
+    """A deterministic generator for one repeat of a seeded experiment.
+
+    Seeding each repeat independently (rather than drawing repeats from
+    one sequential stream) makes repeat ``r``'s sample a pure function of
+    ``(seed, r)`` — so a batch of repeats can be partitioned over worker
+    processes in any way and still reproduce the serial draw exactly.
+    """
+    if repeat < 0:
+        raise ValueError("repeat index must be non-negative")
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(repeat,))
+    )
+
+
 def sample_indices(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
     """Return ``k`` distinct row indices drawn uniformly from ``range(n)``."""
     if not 0 < k <= n:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from repro.obs import metrics, tracing
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import RunCapture, RunReport, config_fingerprint
+from repro.obs.timing import best_of, timed
 from repro.obs.tracing import Span, current_span, trace
 
 __all__ = [
@@ -38,12 +39,14 @@ __all__ = [
     "RunCapture",
     "RunReport",
     "Span",
+    "best_of",
     "config_fingerprint",
     "current_span",
     "disable",
     "enable",
     "enabled",
     "metrics",
+    "timed",
     "trace",
     "tracing",
 ]

@@ -260,7 +260,7 @@ class RunCapture:
             self._previous_registry = _metrics.swap_registry(
                 self._registry
             )
-        self._started_at = time.time()
+        self._started_at = time.time()  # wall-clock: ok (run timestamp)
         self._perf_start = time.perf_counter()
         return self
 

@@ -1,0 +1,164 @@
+"""Scalar reference implementations of the hot-path kernels.
+
+Each function here is the straightforward per-tuple / per-cell /
+per-repeat formulation of a kernel that the library proper implements
+with vectorised NumPy.  They exist for two reasons:
+
+* **Correctness anchors.**  ``tests/test_perf_equivalence.py`` asserts
+  the fast kernels produce *bit-identical* results to these on synthetic
+  data, including edge bins and empty inputs.  A future "optimisation"
+  that changes semantics fails loudly.
+* **Perf baselines.**  ``benchmarks/perf_budget.py`` times fast kernel
+  vs reference on the same machine in the same process, so the budget it
+  enforces is a machine-portable *speedup ratio*, not a wall-clock
+  number that breaks on slower CI runners.
+
+None of these are called from pipeline code; keep them boring and
+obviously correct rather than fast.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+import numpy as np
+
+from repro.binning.bin_array import BinArray
+from repro.binning.strategies import BinLayout
+from repro.data.sampling import repeat_rng, sample_indices
+from repro.data.schema import Table
+
+
+def assign_bins_scalar(layout: BinLayout, values: np.ndarray) -> np.ndarray:
+    """Per-tuple bin assignment: one :func:`bisect.bisect_right` per value.
+
+    Mirrors :meth:`repro.binning.strategies.BinLayout.assign` exactly —
+    half-open bins, last bin closed above, out-of-range values clamped,
+    NaN rejected.
+    """
+    edges = layout.edges.tolist()
+    n_bins = layout.n_bins
+    out = np.empty(len(values), dtype=np.int64)
+    for position, value in enumerate(values):
+        value = float(value)
+        if np.isnan(value):
+            raise ValueError(
+                f"column {layout.attribute!r} contains NaN; clean the "
+                "data before binning"
+            )
+        index = bisect_right(edges, value) - 1
+        if index < 0:
+            index = 0
+        elif index > n_bins - 1:
+            index = n_bins - 1
+        out[position] = index
+    return out
+
+
+def add_chunk_scalar(bin_array: BinArray, x_bins: np.ndarray,
+                     y_bins: np.ndarray, rhs_codes: np.ndarray) -> None:
+    """Per-tuple scatter into the BinArray counters (the pre-vectorization
+    accumulation loop)."""
+    if not (len(x_bins) == len(y_bins) == len(rhs_codes)):
+        raise ValueError("chunk arrays must have equal length")
+    counts, totals = bin_array.counts, bin_array.totals
+    single_target = bin_array.single_target
+    target_code = bin_array.target_code
+    for x, y, code in zip(x_bins, y_bins, rhs_codes):
+        totals[x, y] += 1
+        if single_target:
+            if code == target_code:
+                counts[x, y, 0] += 1
+        else:
+            counts[x, y, code] += 1
+    bin_array.n_total += len(x_bins)
+
+
+def consume_scalar(binner, chunk: Table) -> None:
+    """One Binner chunk through the scalar assignment + scatter path."""
+    x_bins = assign_bins_scalar(
+        binner.x_layout, chunk.column(binner.x_layout.attribute)
+    )
+    y_bins = assign_bins_scalar(
+        binner.y_layout, chunk.column(binner.y_layout.attribute)
+    )
+    rhs_codes = binner.rhs_encoding.encode(chunk.column(binner.rhs_attribute))
+    add_chunk_scalar(binner.bin_array, x_bins, y_bins, rhs_codes)
+
+
+def count_repeat_errors_scalar(covered: np.ndarray, is_target: np.ndarray,
+                               sample_size: int, seed: int,
+                               repeat_ids: Sequence[int],
+                               ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-repeat, per-tuple FP/FN counting (the pre-vectorization loop).
+
+    Same sampling discipline as
+    :func:`repro.core.verifier.count_repeat_errors` — repeat ``r`` draws
+    from ``repeat_rng(seed, r)`` — so the counts must match it exactly.
+    """
+    n = len(covered)
+    fp_counts = np.zeros(len(repeat_ids), dtype=np.int64)
+    fn_counts = np.zeros(len(repeat_ids), dtype=np.int64)
+    for position, repeat in enumerate(repeat_ids):
+        indices = sample_indices(n, sample_size, repeat_rng(seed, repeat))
+        false_positives = 0
+        false_negatives = 0
+        for index in indices:
+            inside = bool(covered[index])
+            wanted = bool(is_target[index])
+            if inside and not wanted:
+                false_positives += 1
+            elif wanted and not inside:
+                false_negatives += 1
+        fp_counts[position] = false_positives
+        fn_counts[position] = false_negatives
+    return fp_counts, fn_counts
+
+
+def neighbourhood_mean_scalar(values: np.ndarray,
+                              radius: int = 1) -> np.ndarray:
+    """Shift-and-add neighbourhood mean: ``(2r+1)^2`` grid passes.
+
+    The original implementation of
+    :func:`repro.core.smoothing.neighbourhood_mean`, kept as the oracle
+    for the summed-area-table version.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"expected a 2-D grid, got shape {values.shape}")
+    if radius < 1:
+        raise ValueError("radius must be at least 1")
+    padded_sum = np.zeros_like(values)
+    counts = np.zeros_like(values)
+    n_x, n_y = values.shape
+    for dx in range(-radius, radius + 1):
+        if abs(dx) >= n_x:  # shift falls entirely off the grid
+            continue
+        for dy in range(-radius, radius + 1):
+            if abs(dy) >= n_y:
+                continue
+            x_src = slice(max(0, -dx), min(n_x, n_x - dx))
+            y_src = slice(max(0, -dy), min(n_y, n_y - dy))
+            x_dst = slice(max(0, dx), min(n_x, n_x + dx))
+            y_dst = slice(max(0, dy), min(n_y, n_y + dy))
+            padded_sum[x_dst, y_dst] += values[x_src, y_src]
+            counts[x_dst, y_dst] += 1.0
+    return padded_sum / counts
+
+
+def row_bitmaps_scalar(cells: np.ndarray) -> list[int]:
+    """Per-cell row-mask construction: OR ``1 << j`` per set cell.
+
+    The original implementation of
+    :meth:`repro.core.grid.RuleGrid.row_bitmaps`, kept as the oracle for
+    the packbits version.
+    """
+    cells = np.asarray(cells, dtype=bool)
+    rows = []
+    for i in range(cells.shape[0]):
+        row_bits = 0
+        for j in np.flatnonzero(cells[i]):
+            row_bits |= 1 << int(j)
+        rows.append(row_bits)
+    return rows

@@ -1,0 +1,234 @@
+"""Equivalence tests: vectorised hot-path kernels vs scalar references.
+
+The fast kernels (bincount binner scatter, matrix-form verifier counts,
+summed-area-table smoothing, packbits row masks) must produce
+*bit-identical* results to the straightforward scalar implementations
+kept in :mod:`repro.perf.reference` — including edge bins, empty inputs
+and empty grids.  The perf-budget harness relies on these pairs agreeing
+before it times them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.binning.bin_array import BinArray
+from repro.binning.categorical import CategoricalEncoding
+from repro.binning.strategies import equi_width_layout
+from repro.core.grid import RuleGrid
+from repro.core.smoothing import neighbourhood_mean, window_sums
+from repro.core.verifier import count_repeat_errors
+from repro.perf import reference
+
+
+def make_layouts(n_bins=10):
+    return (
+        equi_width_layout("x", 0.0, 100.0, n_bins),
+        equi_width_layout("y", -5.0, 5.0, n_bins),
+    )
+
+
+def make_cube(target_code=None, n_bins=10):
+    x_layout, y_layout = make_layouts(n_bins)
+    encoding = CategoricalEncoding("group", ("A", "B", "other"))
+    return BinArray(x_layout, y_layout, encoding, target_code=target_code)
+
+
+class TestBinnerEquivalence:
+    def assert_cubes_equal(self, slow, fast):
+        assert np.array_equal(slow.counts, fast.counts)
+        assert np.array_equal(slow.totals, fast.totals)
+        assert slow.n_total == fast.n_total
+
+    def accumulate_both(self, x_values, y_values, codes, target_code=None):
+        x_layout, y_layout = make_layouts()
+        slow, fast = (
+            make_cube(target_code), make_cube(target_code)
+        )
+        reference.add_chunk_scalar(
+            slow,
+            reference.assign_bins_scalar(x_layout, x_values),
+            reference.assign_bins_scalar(y_layout, y_values),
+            codes,
+        )
+        fast.add_chunk(
+            x_layout.assign(x_values), y_layout.assign(y_values), codes
+        )
+        self.assert_cubes_equal(slow, fast)
+        return fast
+
+    def test_random_chunk_identical(self):
+        rng = np.random.default_rng(1)
+        n = 5000
+        self.accumulate_both(
+            rng.uniform(0, 100, n), rng.uniform(-5, 5, n),
+            rng.integers(0, 3, n, dtype=np.int64),
+        )
+
+    def test_edge_values_identical(self):
+        """Domain bounds, exact bin edges and out-of-range values land in
+        the same bins on both paths."""
+        x_values = np.array([0.0, 10.0, 99.999, 100.0, -3.0, 250.0, 50.0])
+        y_values = np.array([-5.0, -1.0, 4.999, 5.0, -80.0, 80.0, 0.0])
+        codes = np.array([0, 1, 2, 0, 1, 2, 0], dtype=np.int64)
+        fast = self.accumulate_both(x_values, y_values, codes)
+        # Clamping: the out-of-range tuples landed in the outermost bins.
+        assert fast.totals[0].sum() >= 1
+        assert fast.totals[-1].sum() >= 1
+
+    def test_empty_chunk_identical(self):
+        empty = np.array([], dtype=np.float64)
+        fast = self.accumulate_both(
+            empty, empty, np.array([], dtype=np.int64)
+        )
+        assert fast.n_total == 0
+        assert not fast.totals.any()
+
+    def test_single_target_mode_identical(self):
+        rng = np.random.default_rng(2)
+        n = 3000
+        self.accumulate_both(
+            rng.uniform(0, 100, n), rng.uniform(-5, 5, n),
+            rng.integers(0, 3, n, dtype=np.int64),
+            target_code=1,
+        )
+
+    def test_multiple_chunks_accumulate_identically(self):
+        rng = np.random.default_rng(3)
+        x_layout, y_layout = make_layouts()
+        slow, fast = make_cube(), make_cube()
+        for _ in range(4):
+            n = int(rng.integers(1, 800))
+            x_values = rng.uniform(0, 100, n)
+            y_values = rng.uniform(-5, 5, n)
+            codes = rng.integers(0, 3, n, dtype=np.int64)
+            reference.add_chunk_scalar(
+                slow,
+                reference.assign_bins_scalar(x_layout, x_values),
+                reference.assign_bins_scalar(y_layout, y_values),
+                codes,
+            )
+            fast.add_chunk(
+                x_layout.assign(x_values), y_layout.assign(y_values),
+                codes,
+            )
+        self.assert_cubes_equal(slow, fast)
+
+    def test_scalar_assignment_matches_layout(self):
+        layout = equi_width_layout("x", 0.0, 1.0, 7)
+        values = np.concatenate([
+            np.linspace(-0.5, 1.5, 101), layout.edges
+        ])
+        assert np.array_equal(
+            reference.assign_bins_scalar(layout, values),
+            layout.assign(values),
+        )
+
+
+class TestVerifierEquivalence:
+    def test_counts_identical(self):
+        rng = np.random.default_rng(4)
+        covered = rng.random(2000) < 0.3
+        is_target = rng.random(2000) < 0.25
+        slow = reference.count_repeat_errors_scalar(
+            covered, is_target, 150, seed=9, repeat_ids=range(8)
+        )
+        fast = count_repeat_errors(
+            covered, is_target, 150, seed=9, repeat_ids=range(8)
+        )
+        assert np.array_equal(slow[0], fast[0])
+        assert np.array_equal(slow[1], fast[1])
+
+    def test_counts_identical_for_degenerate_coverage(self):
+        n = 500
+        for covered in (np.zeros(n, bool), np.ones(n, bool)):
+            is_target = np.arange(n) % 3 == 0
+            slow = reference.count_repeat_errors_scalar(
+                covered, is_target, n, seed=0, repeat_ids=range(3)
+            )
+            fast = count_repeat_errors(
+                covered, is_target, n, seed=0, repeat_ids=range(3)
+            )
+            assert np.array_equal(slow[0], fast[0])
+            assert np.array_equal(slow[1], fast[1])
+
+    def test_repeat_ids_are_position_independent(self):
+        """Repeat r draws the same sample whether computed alone or in a
+        batch — the property the parallel fan-out relies on."""
+        rng = np.random.default_rng(5)
+        covered = rng.random(800) < 0.5
+        is_target = rng.random(800) < 0.5
+        batched = count_repeat_errors(
+            covered, is_target, 100, seed=3, repeat_ids=range(6)
+        )
+        for repeat in range(6):
+            alone = count_repeat_errors(
+                covered, is_target, 100, seed=3, repeat_ids=[repeat]
+            )
+            assert alone[0][0] == batched[0][repeat]
+            assert alone[1][0] == batched[1][repeat]
+
+
+class TestSmoothingEquivalence:
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_binary_grid_bit_identical(self, radius):
+        """On 0/1 grids every partial sum is an exact integer, so the
+        summed-area table matches shift-and-add bit for bit."""
+        rng = np.random.default_rng(6)
+        grid = (rng.random((23, 31)) < 0.4).astype(np.float64)
+        fast = neighbourhood_mean(grid, radius=radius)
+        slow = reference.neighbourhood_mean_scalar(grid, radius=radius)
+        assert np.array_equal(fast, slow)
+
+    def test_float_grid_matches_to_rounding(self):
+        rng = np.random.default_rng(7)
+        grid = rng.random((40, 17))
+        fast = neighbourhood_mean(grid, radius=2)
+        slow = reference.neighbourhood_mean_scalar(grid, radius=2)
+        assert np.allclose(fast, slow, rtol=1e-12, atol=1e-12)
+
+    def test_radius_larger_than_grid(self):
+        grid = np.eye(3)
+        fast = neighbourhood_mean(grid, radius=10)
+        slow = reference.neighbourhood_mean_scalar(grid, radius=10)
+        assert np.array_equal(fast, slow)
+        # Every window is the whole grid: the global mean everywhere.
+        assert np.allclose(fast, grid.mean())
+
+    def test_window_sums_counts_are_window_areas(self):
+        sums, counts = window_sums(np.ones((4, 4)), radius=1)
+        assert counts[0, 0] == 4.0   # corner
+        assert counts[0, 1] == 6.0   # edge
+        assert counts[1, 1] == 9.0   # interior
+        assert np.array_equal(sums, counts)  # all-ones grid
+
+
+class TestRowBitmapEquivalence:
+    @pytest.mark.parametrize("shape", [(1, 1), (5, 3), (20, 64),
+                                       (13, 65), (8, 200)])
+    def test_random_grids_identical(self, shape):
+        rng = np.random.default_rng(8)
+        cells = rng.random(shape) < 0.5
+        grid = RuleGrid(cells)
+        assert grid.row_bitmaps() == reference.row_bitmaps_scalar(cells)
+
+    def test_empty_and_full_rows(self):
+        cells = np.zeros((4, 70), dtype=bool)
+        cells[1, :] = True
+        cells[3, 69] = True
+        grid = RuleGrid(cells)
+        rows = grid.row_bitmaps()
+        assert rows == reference.row_bitmaps_scalar(cells)
+        assert rows[0] == 0
+        assert rows[1] == (1 << 70) - 1
+        assert rows[3] == 1 << 69
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(9)
+        cells = rng.random((12, 77)) < 0.3
+        grid = RuleGrid(cells)
+        back = RuleGrid.from_row_bitmaps(grid.row_bitmaps(), 77)
+        assert np.array_equal(back.cells, cells)
+
+    def test_from_row_bitmaps_rejects_out_of_range_bits(self):
+        with pytest.raises(ValueError):
+            RuleGrid.from_row_bitmaps([1 << 10], n_y=8)

@@ -1,0 +1,124 @@
+"""Tests for the verifier's opt-in process-pool mode (``workers=N``).
+
+The contract: for a fixed seed the parallel verifier returns the *same*
+:class:`VerificationReport` as the serial one (per-repeat seeding makes
+each repeat's sample independent of where it runs), and a dead worker
+surfaces as a clear error instead of a hang.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.verifier as verifier_module
+
+from repro.core.rules import ClusteredRule, Interval
+from repro.core.segmentation import Segmentation
+from repro.core.verifier import Verifier
+
+
+def make_table(n=600, seed=11):
+    from repro.data.schema import Table, categorical, quantitative
+
+    rng = np.random.default_rng(seed)
+    ages = rng.uniform(0, 100, n)
+    salaries = rng.uniform(0, 100, n)
+    labels = np.where(
+        (ages < 50) & (salaries < 50), "A", "other"
+    ).tolist()
+    specs = [
+        quantitative("age", 0, 100),
+        quantitative("salary", 0, 100),
+        categorical("group", ("A", "other")),
+    ]
+    return Table.from_columns(specs, {
+        "age": ages, "salary": salaries, "group": labels,
+    })
+
+
+def make_segmentation():
+    rule = ClusteredRule(
+        "age", "salary", Interval(0, 50), Interval(0, 50),
+        "group", "A", support=0.25, confidence=0.9,
+    )
+    return Segmentation.from_rules([rule])
+
+
+class TestParallelMatchesSerial:
+    def test_same_report_for_fixed_seed(self):
+        table = make_table()
+        seg = make_segmentation()
+        serial = Verifier(table, "group", "A", sample_size=200,
+                          repeats=6, seed=13, workers=1).verify(seg)
+        parallel = Verifier(table, "group", "A", sample_size=200,
+                            repeats=6, seed=13, workers=3).verify(seg)
+        assert parallel == serial  # frozen dataclass: field-wise equality
+
+    def test_workers_clamped_to_repeats(self):
+        table = make_table(n=200)
+        seg = make_segmentation()
+        report = Verifier(table, "group", "A", sample_size=50,
+                          repeats=2, seed=1, workers=8).verify(seg)
+        assert report.repeats == 2
+
+    def test_single_repeat_stays_serial(self):
+        """repeats=1 short-circuits to the in-process path (no pool)."""
+        table = make_table(n=100)
+        seg = make_segmentation()
+        a = Verifier(table, "group", "A", sample_size=40,
+                     repeats=1, seed=3, workers=4).verify(seg)
+        b = Verifier(table, "group", "A", sample_size=40,
+                     repeats=1, seed=3, workers=1).verify(seg)
+        assert a == b
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            Verifier(make_table(n=50), "group", "A", workers=0)
+        with pytest.raises(ValueError):
+            Verifier(make_table(n=50), "group", "A", workers=-2)
+
+
+class _CrashingFuture:
+    def result(self):
+        raise RuntimeError("worker ate a SIGKILL")
+
+
+class _CrashingPool:
+    """Stands in for ProcessPoolExecutor: every task dies."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, *args, **kwargs):
+        return _CrashingFuture()
+
+
+class TestWorkerFailure:
+    def test_crashed_worker_surfaces_clear_error(self, monkeypatch):
+        monkeypatch.setattr(
+            verifier_module, "ProcessPoolExecutor", _CrashingPool
+        )
+        verifier = Verifier(make_table(n=100), "group", "A",
+                            sample_size=30, repeats=4, seed=0, workers=2)
+        with pytest.raises(RuntimeError) as excinfo:
+            verifier.verify(make_segmentation())
+        message = str(excinfo.value)
+        assert "parallel verification failed" in message
+        assert "repeats 0..1" in message  # names the failing block
+        assert "workers=1" in message     # and the escape hatch
+
+    def test_crash_error_chains_the_cause(self, monkeypatch):
+        monkeypatch.setattr(
+            verifier_module, "ProcessPoolExecutor", _CrashingPool
+        )
+        verifier = Verifier(make_table(n=100), "group", "A",
+                            sample_size=30, repeats=2, seed=0, workers=2)
+        with pytest.raises(RuntimeError) as excinfo:
+            verifier.verify(make_segmentation())
+        assert "worker ate a SIGKILL" in str(excinfo.value)
+        assert excinfo.value.__cause__ is not None

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Lint: no bare print() calls inside the library.
+"""Lint: no bare print() calls outside the designated emitters.
 
 The library communicates through logging (module loggers, NullHandler
 on the package root) and return values; printing belongs to the
@@ -7,12 +7,16 @@ designated emitters only.  This walks the AST — a raw grep would
 false-positive on docstring examples — and fails listing every
 offending ``file:line``.
 
-Allowed emitters:
+Allowed emitters, per scanned root:
 
-* ``repro/cli.py`` — the command-line surface;
-* ``repro/viz/`` — ASCII rendering exists to be printed.
+* ``src/repro`` — ``cli.py`` (the command-line surface) and ``viz/``
+  (ASCII rendering exists to be printed);
+* ``benchmarks`` — ``conftest.py`` (the shared :func:`emit` result
+  writer) and ``perf_budget.py`` (a standalone CLI tool).  Benchmark
+  *modules* must report through ``emit`` so every result also lands in
+  ``benchmarks/results/``.
 
-Usage: ``python tools/lint_no_print.py [src/repro]``
+Usage: ``python tools/lint_no_print.py [src/repro benchmarks ...]``
 """
 
 from __future__ import annotations
@@ -21,7 +25,11 @@ import ast
 import sys
 from pathlib import Path
 
-ALLOWED = ("cli.py", "viz/")
+#: Allowlisted path prefixes, keyed by the scanned root's basename.
+ALLOWED = {
+    "repro": ("cli.py", "viz/"),
+    "benchmarks": ("conftest.py", "perf_budget.py"),
+}
 
 
 def print_calls(path: Path) -> list[int]:
@@ -36,24 +44,35 @@ def print_calls(path: Path) -> list[int]:
     ]
 
 
-def main(argv: list[str]) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+def scan_root(root: Path) -> list[str]:
+    """Offending ``file:line`` entries under one root."""
+    allowed = ALLOWED.get(root.name, ())
     failures = []
     for path in sorted(root.rglob("*.py")):
         relative = path.relative_to(root).as_posix()
         if any(relative == allow or relative.startswith(allow)
-               for allow in ALLOWED):
+               for allow in allowed):
             continue
         for lineno in print_calls(path):
             failures.append(f"{path}:{lineno}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(arg) for arg in argv[1:]] or [Path("src/repro")]
+    failures = []
+    for root in roots:
+        failures.extend(scan_root(root))
     if failures:
-        print("bare print() calls in library code "
+        print("bare print() calls outside the designated emitters "
               "(use logging instead):")
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print(f"no bare print() calls under {root} "
-          f"(emitters {', '.join(ALLOWED)} exempt)")
+    for root in roots:
+        exempt = ", ".join(ALLOWED.get(root.name, ())) or "none"
+        print(f"no bare print() calls under {root} (emitters {exempt} "
+              f"exempt)")
     return 0
 
 

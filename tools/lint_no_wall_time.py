@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Lint: no ``time.time()`` in library or benchmark code.
+
+Durations measured with the wall clock jump with NTP slews and DST and
+make perf numbers irreproducible; all timings must use the monotonic
+``time.perf_counter()`` (what `repro.obs` is built on).  The only
+legitimate use of ``time.time()`` is an absolute *timestamp* for humans
+(e.g. a report's "generated at" field); waive those lines explicitly
+with a trailing ``# wall-clock: ok`` comment.
+
+This walks the AST — it catches ``time.time()``, ``import time as t;
+t.time()``, and ``from time import time; time()`` — and fails listing
+every unwaived ``file:line``.
+
+Usage: ``python tools/lint_no_wall_time.py [src/repro benchmarks ...]``
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+WAIVER = "# wall-clock: ok"
+
+
+def _wall_time_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names under which the time module / time.time are reachable."""
+    module_names: set[str] = set()
+    function_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    module_names.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    function_names.add(alias.asname or "time")
+    return module_names, function_names
+
+
+def wall_time_calls(path: Path) -> list[int]:
+    """Line numbers of unwaived wall-clock timing calls in a file."""
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    module_names, function_names = _wall_time_aliases(tree)
+    offenders = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_wall_time = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in module_names
+        ) or (
+            isinstance(func, ast.Name) and func.id in function_names
+        )
+        if not is_wall_time:
+            continue
+        line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if WAIVER not in line:
+            offenders.append(node.lineno)
+    return offenders
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(arg) for arg in argv[1:]] or [
+        Path("src/repro"), Path("benchmarks")
+    ]
+    failures = []
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            for lineno in wall_time_calls(path):
+                failures.append(f"{path}:{lineno}")
+    if failures:
+        print("wall-clock timing calls (use time.perf_counter(); waive "
+              f"genuine timestamps with '{WAIVER}'):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    roots_text = ", ".join(str(root) for root in roots)
+    print(f"no unwaived time.time() calls under {roots_text}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
