@@ -48,8 +48,11 @@ from repro.binning.strategies import equi_width_layout  # noqa: E402
 from repro.core.grid import RuleGrid  # noqa: E402
 from repro.core.smoothing import neighbourhood_mean  # noqa: E402
 from repro.core.verifier import count_repeat_errors  # noqa: E402
+from repro.core.rules import ClusteredRule, Interval  # noqa: E402
+from repro.core.segmentation import Segmentation  # noqa: E402
 from repro.obs.timing import best_of  # noqa: E402
 from repro.perf import reference  # noqa: E402
+from repro.serve.scorer import compile_scorer  # noqa: E402
 
 BUDGETS_PATH = Path(__file__).parent / "perf_budgets.json"
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_hotpaths.json"
@@ -60,6 +63,7 @@ SIZES = {
     "verifier": (100_000, 20_000),
     "smoothing": (400, 160),
     "bitop_masks": (512, 160),
+    "scorer": (100_000, 20_000),
 }
 
 
@@ -182,11 +186,54 @@ def bench_bitop_masks(n: int, trials: int) -> dict:
     }
 
 
+def bench_scorer(n: int, trials: int) -> dict:
+    """Score n tuples against a 24-rule segmentation: per-rule interval
+    loop vs the compiled position-table lookup.
+
+    Compilation happens outside the timed region — the serving path
+    compiles once per model (LRU-cached) and scores per request.
+    """
+    rng = np.random.default_rng(505)
+    rules = []
+    for index in range(24):
+        x_lo, y_lo = rng.uniform(0.0, 80.0, 2)
+        rules.append(ClusteredRule(
+            "x", "y",
+            Interval(x_lo, x_lo + rng.uniform(2.0, 15.0),
+                     closed_high=bool(index % 2)),
+            Interval(y_lo, y_lo + rng.uniform(2.0, 15.0),
+                     closed_high=bool(index % 3 == 0)),
+            "group", "A", support=0.1, confidence=0.9,
+        ))
+    segmentation = Segmentation.from_rules(rules)
+    x_values = rng.uniform(-5.0, 105.0, n)
+    y_values = rng.uniform(-5.0, 105.0, n)
+    scorer = compile_scorer(segmentation)
+
+    def scalar():
+        return reference.score_batch_scalar(
+            segmentation, x_values, y_values
+        )
+
+    def vectorized():
+        return scorer.score_batch(x_values, y_values)
+
+    assert np.array_equal(scalar(), vectorized()), "scorer kernels differ"
+    return {
+        "name": "scorer",
+        "n": n,
+        "unit": "tuples",
+        "scalar_seconds": best_of(scalar, trials=trials),
+        "vectorized_seconds": best_of(vectorized, trials=trials),
+    }
+
+
 BENCHMARKS = {
     "binner": bench_binner,
     "verifier": bench_verifier,
     "smoothing": bench_smoothing,
     "bitop_masks": bench_bitop_masks,
+    "scorer": bench_scorer,
 }
 
 

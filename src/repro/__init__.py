@@ -20,7 +20,9 @@ Quick start::
 Subpackages: :mod:`repro.core` (ARCS + BitOp), :mod:`repro.binning`,
 :mod:`repro.mining`, :mod:`repro.data`, :mod:`repro.baselines` (C4.5),
 :mod:`repro.analysis`, :mod:`repro.extensions`, :mod:`repro.viz`,
-:mod:`repro.obs` (tracing / metrics / run reports).
+:mod:`repro.obs` (tracing / metrics / run reports), and
+:mod:`repro.serve` (model registry, compiled scorer and the HTTP
+prediction service behind ``arcs serve``).
 
 The library logs through standard :mod:`logging` loggers named after
 their modules (``repro.core.optimizer``, ``repro.binning.binner``, ...)

@@ -9,7 +9,11 @@ Subcommands mirror the library workflow:
 * ``arcs remine`` — re-mine a saved BinArray at explicit thresholds
   (the paper's instantaneous threshold change, across processes);
 * ``arcs inspect`` — pretty-print a saved segmentation and optionally
-  evaluate it against a CSV.
+  evaluate it against a CSV;
+* ``arcs serve`` — serve a directory of saved segmentations over HTTP
+  (``/predict``, ``/predict_batch``, ``/explain``, ``/models``,
+  ``/healthz``, ``/metrics`` — see ``docs/serving.md``);
+* ``arcs score`` — apply a saved segmentation to a CSV offline.
 
 Every command is driven by :func:`main`, which takes an argv list so
 tests can invoke it without a subprocess.
@@ -52,6 +56,7 @@ from repro.persistence import (
     load_segmentation,
     save_bin_array,
     save_segmentation,
+    segmentation_metadata,
 )
 
 logger = logging.getLogger(__name__)
@@ -81,6 +86,12 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Association Rule Clustering System "
                     "(Lent, Swami, Widom — ICDE 1997)",
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {repro.__version__}",
+    )
+    # required=True makes a missing or unknown subcommand an argparse
+    # usage error: message on stderr, exit status 2 — consistently.
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser(
@@ -160,6 +171,33 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--evaluate", type=Path, default=None,
                          help="CSV to measure the error rate against")
     _add_obs_flags(inspect)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a directory of saved segmentations over HTTP",
+    )
+    serve.add_argument("models", type=Path,
+                       help="directory of segmentation JSON artefacts")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8799,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--refresh-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="how often the model directory is re-checked "
+                            "for hot reload (negative disables)")
+    _add_obs_flags(serve)
+
+    score = commands.add_parser(
+        "score",
+        help="apply a saved segmentation to a CSV offline",
+    )
+    score.add_argument("model", type=Path,
+                       help="saved segmentation JSON")
+    score.add_argument("--input", type=Path, required=True,
+                       help="CSV with the segmentation's LHS columns")
+    score.add_argument("--output", type=Path, default=None,
+                       help="write per-row predictions as CSV")
+    _add_obs_flags(score)
 
     return parser
 
@@ -357,8 +395,28 @@ def _command_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_artefact_metadata(metadata: dict) -> str | None:
+    """One provenance line for a saved segmentation, or ``None``."""
+    if not metadata:
+        return None
+    version = metadata.get("library_version", "?")
+    created = metadata.get("created_unix")
+    if isinstance(created, (int, float)):
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S UTC", time.gmtime(created)
+        )
+    else:
+        stamp = "unknown time"
+    return f"saved by repro {version} at {stamp}"
+
+
 def _command_inspect(args: argparse.Namespace) -> int:
     segmentation = load_segmentation(args.segmentation)
+    provenance = _format_artefact_metadata(
+        segmentation_metadata(args.segmentation)
+    )
+    if provenance is not None:
+        print(provenance)
     print(f"segmentation for {segmentation.rhs_attribute} = "
           f"{segmentation.rhs_value} ({len(segmentation)} rules):")
     print(segmentation.describe())
@@ -386,6 +444,80 @@ def _command_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import create_server, run_server
+
+    # A serving process exists to be watched: collect metrics so
+    # /metrics answers, and spans too under --trace.
+    obs.enable(
+        trace_spans=getattr(args, "trace", False), collect_metrics=True
+    )
+    server = create_server(
+        args.models, host=args.host, port=args.port,
+        refresh_interval=args.refresh_interval,
+    )
+    registry = server.service.registry
+    print(f"serving {len(registry)} model(s) from {args.models} "
+          f"at {server.url}")
+    for model in registry.models():
+        segmentation = model.segmentation
+        print(f"  {model.model_id}  {model.name}: "
+              f"({segmentation.x_attribute}, "
+              f"{segmentation.y_attribute}) => "
+              f"{segmentation.rhs_attribute} = "
+              f"{segmentation.rhs_value} [{len(segmentation)} rules]")
+    run_server(server)
+    return 0
+
+
+def _command_score(args: argparse.Namespace) -> int:
+    import csv
+
+    from repro.serve.scorer import compile_scorer
+
+    segmentation = load_segmentation(args.model)
+    provenance = _format_artefact_metadata(
+        segmentation_metadata(args.model)
+    )
+    with RunCapture("cli.score", config={
+        "model": str(args.model),
+        "input": str(args.input),
+    }) as capture:
+        with trace("load"):
+            specs = _infer_specs(args.input)
+            table = read_csv(args.input, specs)
+        x_values = table.column(segmentation.x_attribute)
+        y_values = table.column(segmentation.y_attribute)
+        with trace("score", tuples=len(table)):
+            scorer = compile_scorer(segmentation)
+            indices = scorer.score_batch(x_values, y_values)
+        inside = int((indices >= 0).sum())
+
+    print(f"scored {len(table):,} tuples from {args.input} "
+          f"against {args.model}")
+    if provenance is not None:
+        print(f"model {provenance}")
+    share = inside / len(table) if len(table) else 0.0
+    print(f"{inside:,} in segment {segmentation.rhs_attribute} = "
+          f"{segmentation.rhs_value} ({share:.1%}), "
+          f"{len(table) - inside:,} outside")
+
+    if args.output is not None:
+        with open(args.output, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([
+                segmentation.x_attribute, segmentation.y_attribute,
+                "rule", "in_segment",
+            ])
+            for x, y, rule in zip(x_values, y_values, indices):
+                writer.writerow([
+                    x, y, int(rule), bool(rule >= 0),
+                ])
+        print(f"predictions written to {args.output}")
+    _emit_run_report(args, capture.report)
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "fit": _command_fit,
@@ -393,6 +525,8 @@ _COMMANDS = {
     "remine": _command_remine,
     "describe": _command_describe,
     "inspect": _command_inspect,
+    "serve": _command_serve,
+    "score": _command_score,
 }
 
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.binning.bin_array import BinArray
 from repro.binning.strategies import BinLayout
+from repro.core.segmentation import Segmentation
 from repro.data.sampling import repeat_rng, sample_indices
 from repro.data.schema import Table
 
@@ -145,6 +146,49 @@ def neighbourhood_mean_scalar(values: np.ndarray,
             padded_sum[x_dst, y_dst] += values[x_src, y_src]
             counts[x_dst, y_dst] += 1.0
     return padded_sum / counts
+
+
+def score_batch_scalar(segmentation: Segmentation, x_values,
+                       y_values) -> np.ndarray:
+    """Per-tuple, per-rule interval evaluation: the serving oracle.
+
+    Mirrors :meth:`repro.serve.scorer.CompiledScorer.score_batch`
+    exactly — first matching rule index in segmentation order (``-1``
+    when no rule fires), closedness per each interval's
+    ``closed_high``, NaN rejected like the binner rejects it.
+    """
+    x_values = np.asarray(x_values, dtype=np.float64)
+    y_values = np.asarray(y_values, dtype=np.float64)
+    if x_values.shape != y_values.shape:
+        raise ValueError(
+            f"x and y batches differ in shape: "
+            f"{x_values.shape} vs {y_values.shape}"
+        )
+    rules = segmentation.rules
+    out = np.full(len(x_values), -1, dtype=np.int32)
+    for position, (x, y) in enumerate(zip(x_values, y_values)):
+        if np.isnan(x):
+            raise ValueError(
+                f"column {segmentation.x_attribute!r} contains NaN; "
+                "clean the data before scoring"
+            )
+        if np.isnan(y):
+            raise ValueError(
+                f"column {segmentation.y_attribute!r} contains NaN; "
+                "clean the data before scoring"
+            )
+        for index, rule in enumerate(rules):
+            x_iv, y_iv = rule.x_interval, rule.y_interval
+            inside_x = x >= x_iv.low and (
+                x <= x_iv.high if x_iv.closed_high else x < x_iv.high
+            )
+            inside_y = y >= y_iv.low and (
+                y <= y_iv.high if y_iv.closed_high else y < y_iv.high
+            )
+            if inside_x and inside_y:
+                out[position] = index
+                break
+    return out
 
 
 def row_bitmaps_scalar(cells: np.ndarray) -> list[int]:

@@ -16,9 +16,12 @@ than guessing.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 import numpy as np
+
+import repro
 
 from repro.binning.bin_array import BinArray
 from repro.binning.categorical import CategoricalEncoding
@@ -91,9 +94,19 @@ def _rule_from_dict(data: dict) -> ClusteredRule:
 
 def save_segmentation(segmentation: Segmentation,
                       path: str | Path) -> None:
-    """Write a segmentation to ``path`` as versioned JSON."""
+    """Write a segmentation to ``path`` as versioned JSON.
+
+    Alongside the rules, the artefact records provenance metadata
+    (``library_version``, ``created_unix``) for registries and
+    inspection tools; loaders tolerate its absence so pre-metadata
+    artefacts keep loading.
+    """
     payload = {
         "format": SEGMENTATION_FORMAT,
+        "metadata": {
+            "library_version": repro.__version__,
+            "created_unix": time.time(),  # wall-clock: ok (artefact stamp)
+        },
         "x_attribute": segmentation.x_attribute,
         "y_attribute": segmentation.y_attribute,
         "rhs_attribute": segmentation.rhs_attribute,
@@ -104,16 +117,35 @@ def save_segmentation(segmentation: Segmentation,
         json.dump(payload, handle, indent=2)
 
 
+def _read_segmentation_payload(path: str | Path) -> dict:
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except ValueError as error:
+            raise PersistenceError(f"{path} is not valid JSON: {error}")
+    found = payload.get("format") if isinstance(payload, dict) else None
+    if found != SEGMENTATION_FORMAT:
+        raise PersistenceError(
+            f"{path} is not a {SEGMENTATION_FORMAT} file "
+            f"(format={found!r})"
+        )
+    return payload
+
+
+def segmentation_metadata(path: str | Path) -> dict:
+    """The artefact's provenance metadata (empty for older artefacts).
+
+    Validates the format tag like :func:`load_segmentation`, so feeding
+    a foreign JSON file still fails loudly.
+    """
+    metadata = _read_segmentation_payload(path).get("metadata", {})
+    return dict(metadata) if isinstance(metadata, dict) else {}
+
+
 def load_segmentation(path: str | Path) -> Segmentation:
     """Read a segmentation previously written by
     :func:`save_segmentation`."""
-    with open(path) as handle:
-        payload = json.load(handle)
-    if payload.get("format") != SEGMENTATION_FORMAT:
-        raise PersistenceError(
-            f"{path} is not a {SEGMENTATION_FORMAT} file "
-            f"(format={payload.get('format')!r})"
-        )
+    payload = _read_segmentation_payload(path)
     return Segmentation(
         rules=tuple(
             _rule_from_dict(rule) for rule in payload["rules"]

@@ -1,0 +1,49 @@
+"""Serving: the consumption side of ARCS.
+
+The pipeline's end product is a small set of clustered rules meant to be
+*applied* — the paper's merchandising analyst wants "which segment is
+this customer in?" answered per tuple, at traffic.  This subpackage is
+that missing half, in three layers:
+
+* :mod:`repro.serve.registry` — a :class:`ModelRegistry` over a
+  directory of persisted segmentation artefacts: format validation via
+  :mod:`repro.persistence`, content-hash model ids, atomic hot reload;
+* :mod:`repro.serve.scorer` — :func:`compile_scorer` turns a
+  segmentation into an immutable position-table
+  (:class:`CompiledScorer`) with O(1)-per-tuple ``score`` and a
+  vectorised ``score_batch``, bit-identical to the scalar reference in
+  :mod:`repro.perf.reference`;
+* :mod:`repro.serve.service` / :mod:`repro.serve.app` — a stdlib-only
+  threaded HTTP service (``/predict``, ``/predict_batch``, ``/explain``,
+  ``/models``, ``/healthz``, ``/metrics``) instrumented through
+  :mod:`repro.obs`.
+
+CLI: ``arcs serve <model-dir>`` and ``arcs score <model> --input csv``.
+Full reference: ``docs/serving.md``.
+"""
+
+from repro.serve.app import create_server, run_server
+from repro.serve.registry import ModelRegistry, ServedModel
+from repro.serve.scorer import (
+    CompiledScorer,
+    compile_scorer,
+    scorer_cache_clear,
+)
+from repro.serve.service import (
+    PredictionServer,
+    PredictionService,
+    ServiceError,
+)
+
+__all__ = [
+    "CompiledScorer",
+    "ModelRegistry",
+    "PredictionServer",
+    "PredictionService",
+    "ServedModel",
+    "ServiceError",
+    "compile_scorer",
+    "create_server",
+    "run_server",
+    "scorer_cache_clear",
+]

@@ -1,0 +1,54 @@
+"""Assembling and running a prediction server (the ``arcs serve`` glue).
+
+:func:`create_server` wires directory -> registry -> service -> HTTP
+server and returns the bound (but not yet serving) server, so callers
+control the serving loop: the CLI blocks in :func:`run_server`, tests
+call :meth:`~repro.serve.service.PredictionServer.serve_in_background`
+and tear down with ``shutdown()``/``server_close()``.
+
+Binding to port ``0`` asks the OS for a free port — the bound address is
+on ``server.server_address`` (and ``server.url``), which is how the
+test-suite and smoke jobs avoid port collisions.
+"""
+
+from __future__ import annotations
+
+import logging
+from pathlib import Path
+
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import PredictionServer, PredictionService
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["create_server", "run_server"]
+
+
+def create_server(model_dir: str | Path, host: str = "127.0.0.1",
+                  port: int = 8799,
+                  refresh_interval: float = 1.0) -> PredictionServer:
+    """Build a ready-to-serve :class:`PredictionServer`.
+
+    The registry load is strict: an invalid artefact in ``model_dir``
+    fails startup loudly rather than serving a partial catalogue.
+    """
+    registry = ModelRegistry(
+        model_dir, refresh_interval=refresh_interval
+    ).load()
+    service = PredictionService(registry)
+    server = PredictionServer((host, port), service)
+    logger.info(
+        "prediction server bound to %s serving %d model(s) from %s",
+        server.url, len(registry), model_dir,
+    )
+    return server
+
+
+def run_server(server: PredictionServer) -> None:
+    """Serve until interrupted; always releases the socket."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        logger.info("interrupt received, shutting down")
+    finally:
+        server.server_close()

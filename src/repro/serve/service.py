@@ -1,0 +1,374 @@
+"""The prediction service: endpoint logic plus the HTTP layer.
+
+Two halves, separable for testing:
+
+* :class:`PredictionService` — the transport-free endpoint logic.  Each
+  method takes/returns plain dicts, raises :class:`ServiceError` with
+  an HTTP status for bad requests, and is instrumented with the
+  ``serve.*`` counters and histograms (catalogue in
+  ``docs/observability.md``).  Unit tests drive this directly.
+* :class:`PredictionServer` / :class:`PredictionHandler` — a
+  stdlib-only threaded HTTP front (``http.server.ThreadingHTTPServer``)
+  that parses JSON bodies, maps :class:`ServiceError` to status codes
+  and logs through the module logger instead of printing.
+
+Endpoints::
+
+    GET  /healthz        liveness + model count
+    GET  /models         registry listing with artefact metadata
+    GET  /metrics        snapshot of the process metrics registry
+    POST /predict        {"model", "x", "y"} -> segment membership
+    POST /predict_batch  {"model", "x": [...], "y": [...]} -> arrays
+    POST /explain        {"model", "x", "y"} -> the rule that fired
+
+Models resolve by content-hash id or by name; resolution triggers the
+registry's rate-limited hot-reload check, and an in-flight request
+keeps the :class:`~repro.serve.registry.ServedModel` it resolved even
+if a reload swaps the snapshot mid-request.  When tracing is enabled
+(``repro.obs``), every request is bracketed by a ``serve.<endpoint>``
+span; handler threads have no ambient run capture, so these are
+recorded as self-contained root spans in a bounded ring buffer
+(:attr:`PredictionService.recent_spans`).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+
+import numpy as np
+
+from repro.obs import metrics, tracing
+from repro.obs.tracing import Span
+from repro.serve.registry import ModelRegistry, ServedModel
+from repro.serve.scorer import compile_scorer
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "PredictionHandler",
+    "PredictionServer",
+    "PredictionService",
+    "ServiceError",
+]
+
+
+class ServiceError(Exception):
+    """A client-visible failure with its HTTP status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _require(payload: dict, key: str):
+    if not isinstance(payload, dict) or key not in payload:
+        raise ServiceError(400, f"missing required field {key!r}")
+    return payload[key]
+
+
+def _number(payload: dict, key: str) -> float:
+    value = _require(payload, key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServiceError(400, f"field {key!r} must be a number")
+    return float(value)
+
+
+def _number_array(payload: dict, key: str) -> np.ndarray:
+    value = _require(payload, key)
+    if not isinstance(value, list):
+        raise ServiceError(400, f"field {key!r} must be a list of numbers")
+    try:
+        array = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            400, f"field {key!r} must be a list of numbers"
+        ) from None
+    if array.ndim != 1:
+        raise ServiceError(400, f"field {key!r} must be one-dimensional")
+    return array
+
+
+def _interval_dict(interval) -> dict:
+    return {
+        "low": interval.low,
+        "high": interval.high,
+        "closed_high": interval.closed_high,
+    }
+
+
+class PredictionService:
+    """Endpoint logic over a :class:`ModelRegistry` (transport-free)."""
+
+    def __init__(self, registry: ModelRegistry,
+                 recent_span_limit: int = 64):
+        self.registry = registry
+        self.started = perf_counter()
+        #: Per-request root spans when tracing is enabled (ring buffer).
+        self.recent_spans: deque[Span] = deque(maxlen=recent_span_limit)
+
+    # ------------------------------------------------------------------
+    # Model resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, payload: dict) -> ServedModel:
+        key = _require(payload, "model")
+        if not isinstance(key, str):
+            raise ServiceError(400, "field 'model' must be a string")
+        self.registry.maybe_refresh()
+        try:
+            return self.registry.resolve(key)
+        except KeyError as error:
+            raise ServiceError(404, str(error.args[0])) from None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self, payload: dict | None = None) -> dict:
+        self.registry.maybe_refresh()
+        return {
+            "status": "ok",
+            "models": len(self.registry),
+            "uptime_seconds": perf_counter() - self.started,
+        }
+
+    def models(self, payload: dict | None = None) -> dict:
+        self.registry.maybe_refresh()
+        return {
+            "models": [
+                model.describe() for model in self.registry.models()
+            ],
+        }
+
+    def metrics_snapshot(self, payload: dict | None = None) -> dict:
+        registry = metrics.active()
+        return {
+            "enabled": registry is not None,
+            "metrics": registry.snapshot() if registry is not None
+            else {},
+        }
+
+    def predict(self, payload: dict) -> dict:
+        model = self._resolve(payload)
+        x, y = _number(payload, "x"), _number(payload, "y")
+        index = self._score_one(model, x, y)
+        return self._prediction(model, index)
+
+    @staticmethod
+    def _prediction(model: ServedModel, index: int) -> dict:
+        return {
+            "model": model.model_id,
+            "name": model.name,
+            "in_segment": index >= 0,
+            "segment": (
+                model.segmentation.rhs_value if index >= 0 else None
+            ),
+            "rule": index if index >= 0 else None,
+        }
+
+    def predict_batch(self, payload: dict) -> dict:
+        model = self._resolve(payload)
+        x = _number_array(payload, "x")
+        y = _number_array(payload, "y")
+        if len(x) != len(y):
+            raise ServiceError(
+                400, f"x and y batches differ in length: "
+                     f"{len(x)} vs {len(y)}"
+            )
+        try:
+            indices = compile_scorer(model.segmentation).score_batch(x, y)
+        except ValueError as error:  # NaN in the batch
+            raise ServiceError(400, str(error)) from None
+        return {
+            "model": model.model_id,
+            "name": model.name,
+            "count": len(x),
+            "in_segment": (indices >= 0).tolist(),
+            "rule": indices.tolist(),
+        }
+
+    def explain(self, payload: dict) -> dict:
+        model = self._resolve(payload)
+        x, y = _number(payload, "x"), _number(payload, "y")
+        index = self._score_one(model, x, y)
+        response = self._prediction(model, index)
+        if index >= 0:
+            rule = model.segmentation.rules[index]
+            response["explanation"] = {
+                "index": index,
+                "text": str(rule),
+                "x_attribute": rule.x_attribute,
+                "y_attribute": rule.y_attribute,
+                "x_interval": _interval_dict(rule.x_interval),
+                "y_interval": _interval_dict(rule.y_interval),
+                "support": rule.support,
+                "confidence": rule.confidence,
+            }
+        else:
+            response["explanation"] = None
+        return response
+
+    def _score_one(self, model: ServedModel, x: float, y: float) -> int:
+        try:
+            return compile_scorer(model.segmentation).score(x, y)
+        except ValueError as error:  # NaN input
+            raise ServiceError(400, str(error)) from None
+
+    # ------------------------------------------------------------------
+    # Instrumented dispatch (shared by HTTP and tests)
+    # ------------------------------------------------------------------
+    def dispatch(self, endpoint: str,
+                 payload: dict | None) -> tuple[int, dict]:
+        """Run one endpoint with metrics + an optional request span.
+
+        Returns ``(status, body)``; service errors become their status
+        with an ``{"error": ...}`` body, unexpected errors a 500.
+        """
+        handler = _ENDPOINTS.get(endpoint)
+        if handler is None:
+            return 404, {"error": f"no such endpoint {endpoint!r}"}
+        started = perf_counter()
+        span = (
+            Span(f"serve.{endpoint}") if tracing.enabled() else None
+        )
+        if span is not None:
+            span.__enter__()
+        status = 500
+        try:
+            body = handler(self, payload)
+            status = 200
+            return status, body
+        except ServiceError as error:
+            status = error.status
+            return status, {"error": error.message}
+        except Exception:
+            logger.exception("serve.%s failed", endpoint)
+            return 500, {"error": "internal server error"}
+        finally:
+            elapsed = perf_counter() - started
+            if span is not None:
+                span.set("status", status)
+                span.__exit__(None, None, None)
+                self.recent_spans.append(span)
+            metrics.inc("serve.requests")
+            metrics.inc(f"serve.requests_{endpoint}")
+            if status >= 400:
+                metrics.inc("serve.request_errors")
+            metrics.observe("serve.request_seconds", elapsed)
+
+
+#: Endpoint name -> bound-method dispatch table (GET entries take an
+#: ignored payload so the dispatch signature is uniform).
+_ENDPOINTS = {
+    "healthz": PredictionService.healthz,
+    "models": PredictionService.models,
+    "metrics": PredictionService.metrics_snapshot,
+    "predict": PredictionService.predict,
+    "predict_batch": PredictionService.predict_batch,
+    "explain": PredictionService.explain,
+}
+
+_GET_ROUTES = {
+    "/healthz": "healthz",
+    "/models": "models",
+    "/metrics": "metrics",
+}
+
+_POST_ROUTES = {
+    "/predict": "predict",
+    "/predict_batch": "predict_batch",
+    "/explain": "explain",
+}
+
+
+class PredictionHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP front for a :class:`PredictionService`."""
+
+    server: "PredictionServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        endpoint = _GET_ROUTES.get(self.path)
+        if endpoint is None:
+            self._send(404, {"error": f"no such path {self.path!r}"})
+            return
+        status, body = self.server.service.dispatch(endpoint, None)
+        self._send(status, body)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        endpoint = _POST_ROUTES.get(self.path)
+        if endpoint is None:
+            self._send(404, {"error": f"no such path {self.path!r}"})
+            return
+        try:
+            payload = self._read_json()
+        except ServiceError as error:
+            self._send(error.status, {"error": error.message})
+            return
+        status, body = self.server.service.dispatch(endpoint, payload)
+        self._send(status, body)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError(400, "empty request body; send JSON")
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            raise ServiceError(400, "request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        return payload
+
+    def _send(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:
+        # BaseHTTPRequestHandler prints to stderr; route through the
+        # library's logging convention instead.
+        logger.info("%s %s", self.address_string(), format % args)
+
+
+class PredictionServer(ThreadingHTTPServer):
+    """A threaded HTTP server bound to one :class:`PredictionService`.
+
+    Thread-per-connection with daemon threads: an in-flight request
+    finishes against the model snapshot it resolved, while
+    ``shutdown()`` stops accepting new work.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 service: PredictionService):
+        super().__init__(address, PredictionHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_in_background(self) -> threading.Thread:
+        """Start ``serve_forever`` on a daemon thread (tests, CLI)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="arcs-serve", daemon=True
+        )
+        thread.start()
+        return thread

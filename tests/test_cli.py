@@ -181,6 +181,84 @@ class TestRemineAndInspect:
         assert "error rate" in capsys.readouterr().out
 
 
+class TestScore:
+    @pytest.fixture()
+    def model_path(self, dataset, tmp_path):
+        seg_path = tmp_path / "seg.json"
+        assert main([
+            "fit", str(dataset),
+            "--x", "age", "--y", "salary",
+            "--rhs", "group", "--target", "A",
+            "--bins", "25",
+            "--support-levels", "5", "--confidence-levels", "4",
+            "--save-segmentation", str(seg_path),
+        ]) == 0
+        return seg_path
+
+    def test_score_prints_summary_and_provenance(self, model_path,
+                                                 dataset, capsys):
+        code = main(["score", str(model_path), "--input", str(dataset)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scored 8,000 tuples" in out
+        assert "in segment group = A" in out
+        assert "saved by repro" in out
+
+    def test_score_writes_predictions_csv(self, model_path, dataset,
+                                          tmp_path, capsys):
+        out_path = tmp_path / "preds.csv"
+        code = main([
+            "score", str(model_path), "--input", str(dataset),
+            "--output", str(out_path),
+        ])
+        assert code == 0
+        lines = out_path.read_text().splitlines()
+        assert lines[0] == "age,salary,rule,in_segment"
+        assert len(lines) == 8001
+        assert "predictions written" in capsys.readouterr().out
+
+    def test_score_metrics_out_includes_serve_counters(
+            self, model_path, dataset, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "score", str(model_path), "--input", str(dataset),
+            "--metrics-out", str(report_path),
+        ])
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["name"] == "cli.score"
+        counters = payload["metrics"]["counters"]
+        assert counters["serve.tuples_scored"] == 8000
+        span_names = [child["name"]
+                      for child in payload["trace"]["children"]]
+        assert "load" in span_names and "score" in span_names
+
+    def test_inspect_prints_provenance(self, model_path, capsys):
+        assert main(["inspect", str(model_path)]) == 0
+        assert "saved by repro" in capsys.readouterr().out
+
+
+class TestUsageErrors:
+    def test_version_flag_exits_zero(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"arcs {repro.__version__}"
+
+    def test_unknown_subcommand_is_exit_2_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == 2
+        assert "usage: arcs" in capsys.readouterr().err
+
+    def test_missing_subcommand_is_exit_2_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+        assert "usage: arcs" in capsys.readouterr().err
+
+
 class TestFailurePaths:
     def test_fit_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):

@@ -343,3 +343,39 @@ class TestPipelineIntegration:
         assert search.run_report is not None
         assert search.run_report.name == "optimizer.search"
         assert search.run_report.counters()["optimizer.trials"] >= 1
+
+
+class TestServeIntegration:
+    def test_scoring_records_serve_metrics_in_run_report(self):
+        import numpy as np
+
+        from repro.core.rules import ClusteredRule, Interval
+        from repro.core.segmentation import Segmentation
+        from repro.serve.scorer import compile_scorer, scorer_cache_clear
+
+        segmentation = Segmentation.from_rules([
+            ClusteredRule(
+                "age", "salary",
+                Interval(20, 40), Interval(50_000, 100_000),
+                "group", "A", support=0.1, confidence=0.9,
+            )
+        ])
+        scorer_cache_clear()
+        obs.enable()
+        with RunCapture("cli.score") as capture:
+            scorer = compile_scorer(segmentation)
+            scorer.score_batch(
+                np.array([25.0, 5.0, 30.0]),
+                np.array([60_000.0, 60_000.0, 70_000.0]),
+            )
+            compile_scorer(segmentation)  # second compile hits the cache
+        counters = capture.report.counters()
+        assert counters["serve.tuples_scored"] == 3
+        assert counters["serve.scorer_cache_misses"] == 1
+        assert counters["serve.scorer_cache_hits"] == 1
+        histograms = capture.report.metrics.get("histograms", {})
+        assert histograms["serve.batch_size"]["count"] == 1
+        assert "serve.compile_seconds" in histograms
+        # The whole report survives a JSON round trip (--metrics-out).
+        rebuilt = RunReport.from_json(capture.report.to_json())
+        assert rebuilt.counters()["serve.tuples_scored"] == 3

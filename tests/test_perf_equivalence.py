@@ -232,3 +232,63 @@ class TestRowBitmapEquivalence:
     def test_from_row_bitmaps_rejects_out_of_range_bits(self):
         with pytest.raises(ValueError):
             RuleGrid.from_row_bitmaps([1 << 10], n_y=8)
+
+
+class TestScorerEquivalence:
+    def _segmentation(self, rng, n_rules=12):
+        from repro.core.rules import ClusteredRule, Interval
+        from repro.core.segmentation import Segmentation
+
+        rules = []
+        for index in range(n_rules):
+            x_lo, y_lo = rng.uniform(0, 80, 2)
+            rules.append(ClusteredRule(
+                "age", "salary",
+                Interval(x_lo, x_lo + rng.uniform(1, 20),
+                         closed_high=bool(index % 2)),
+                Interval(y_lo, y_lo + rng.uniform(1, 20),
+                         closed_high=bool(index % 3 == 0)),
+                "group", "A", support=0.1, confidence=0.9,
+            ))
+        return Segmentation.from_rules(rules)
+
+    def test_random_batches_identical(self):
+        from repro.serve.scorer import compile_scorer
+
+        rng = np.random.default_rng(41)
+        segmentation = self._segmentation(rng)
+        xs = rng.uniform(-10, 110, 3000)
+        ys = rng.uniform(-10, 110, 3000)
+        assert np.array_equal(
+            compile_scorer(segmentation).score_batch(xs, ys),
+            reference.score_batch_scalar(segmentation, xs, ys),
+        )
+
+    def test_boundary_values_identical(self):
+        from repro.serve.scorer import compile_scorer
+
+        rng = np.random.default_rng(43)
+        segmentation = self._segmentation(rng, n_rules=8)
+        # Query exactly on every interval endpoint, in both axes.
+        bounds = np.array(sorted({
+            float(bound)
+            for rule in segmentation.rules
+            for interval in (rule.x_interval, rule.y_interval)
+            for bound in (interval.low, interval.high)
+        }))
+        xs, ys = map(np.ravel, np.meshgrid(bounds, bounds))
+        assert np.array_equal(
+            compile_scorer(segmentation).score_batch(xs, ys),
+            reference.score_batch_scalar(segmentation, xs, ys),
+        )
+
+    def test_empty_batch_identical(self):
+        from repro.serve.scorer import compile_scorer
+
+        rng = np.random.default_rng(47)
+        segmentation = self._segmentation(rng, n_rules=3)
+        empty = np.array([], dtype=np.float64)
+        assert np.array_equal(
+            compile_scorer(segmentation).score_batch(empty, empty),
+            reference.score_batch_scalar(segmentation, empty, empty),
+        )

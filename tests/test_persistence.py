@@ -13,6 +13,7 @@ from repro.persistence import (
     load_segmentation,
     save_bin_array,
     save_segmentation,
+    segmentation_metadata,
 )
 
 
@@ -79,6 +80,50 @@ class TestSegmentationRoundTrip:
         path.write_text('{"format": "something-else"}')
         with pytest.raises(PersistenceError):
             load_segmentation(path)
+
+    def test_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError, match="not valid JSON"):
+            load_segmentation(path)
+
+
+class TestSegmentationMetadata:
+    def test_save_stamps_provenance(self, segmentation, tmp_path):
+        import repro
+        path = tmp_path / "seg.json"
+        save_segmentation(segmentation, path)
+        metadata = segmentation_metadata(path)
+        assert metadata["library_version"] == repro.__version__
+        assert isinstance(metadata["created_unix"], float)
+        assert metadata["created_unix"] > 0
+
+    def test_legacy_artefact_without_metadata_still_loads(
+            self, segmentation, tmp_path):
+        import json
+        path = tmp_path / "seg.json"
+        save_segmentation(segmentation, path)
+        payload = json.loads(path.read_text())
+        del payload["metadata"]
+        path.write_text(json.dumps(payload))
+        assert len(load_segmentation(path)) == 2
+        assert segmentation_metadata(path) == {}
+
+    def test_non_dict_metadata_treated_as_absent(self, segmentation,
+                                                 tmp_path):
+        import json
+        path = tmp_path / "seg.json"
+        save_segmentation(segmentation, path)
+        payload = json.loads(path.read_text())
+        payload["metadata"] = "1.0"
+        path.write_text(json.dumps(payload))
+        assert segmentation_metadata(path) == {}
+
+    def test_validates_format_tag(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(PersistenceError):
+            segmentation_metadata(path)
 
 
 class TestBinArrayRoundTrip:

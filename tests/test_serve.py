@@ -1,0 +1,434 @@
+"""Unit and integration tests for the serving subsystem (repro.serve)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.rules import ClusteredRule, Interval
+from repro.core.segmentation import Segmentation
+from repro.perf.reference import score_batch_scalar
+from repro.persistence import save_segmentation
+from repro.serve import (
+    ModelRegistry,
+    PredictionService,
+    ServiceError,
+    compile_scorer,
+    create_server,
+    scorer_cache_clear,
+)
+
+
+def make_rule(x_lo, x_hi, y_lo, y_hi, *, x_closed=False, y_closed=False,
+              rhs="A"):
+    return ClusteredRule(
+        "age", "salary",
+        Interval(x_lo, x_hi, closed_high=x_closed),
+        Interval(y_lo, y_hi, closed_high=y_closed),
+        "group", rhs, support=0.1, confidence=0.9,
+    )
+
+
+@pytest.fixture()
+def segmentation():
+    return Segmentation.from_rules([
+        make_rule(20, 40, 50_000, 100_000, y_closed=True),
+        make_rule(60, 80, 25_000, 75_000, x_closed=True),
+        make_rule(30, 70, 60_000, 80_000),  # overlaps the first rule
+    ])
+
+
+@pytest.fixture()
+def model_dir(tmp_path, segmentation):
+    directory = tmp_path / "models"
+    directory.mkdir()
+    save_segmentation(segmentation, directory / "groupA.json")
+    return directory
+
+
+# ----------------------------------------------------------------------
+# Compiled scorer
+# ----------------------------------------------------------------------
+class TestCompiledScorer:
+    def test_matches_scalar_reference_on_random_points(self, segmentation):
+        rng = np.random.default_rng(17)
+        xs = rng.uniform(0, 100, 4000)
+        ys = rng.uniform(0, 160_000, 4000)
+        scorer = compile_scorer(segmentation)
+        assert np.array_equal(
+            scorer.score_batch(xs, ys),
+            score_batch_scalar(segmentation, xs, ys),
+        )
+
+    def test_closedness_at_boundaries(self, segmentation):
+        scorer = compile_scorer(segmentation)
+        # x = 40 leaves [20, 40) but sits inside the overlapping rule.
+        assert scorer.score(39.999, 60_000) == 0
+        assert scorer.score(40.0, 70_000) == 2
+        # y = 100_000 is inside [50_000, 100_000] (closed above).
+        assert scorer.score(25, 100_000.0) == 0
+        assert scorer.score(25, 100_000.1) == -1
+        # x = 80 is inside [60, 80] (closed above); just beyond is out.
+        assert scorer.score(80.0, 50_000) == 1
+        assert scorer.score(80.001, 50_000) == -1
+
+    def test_first_matching_rule_wins_on_overlap(self, segmentation):
+        # (35, 70_000) lies in rules 0 and 2; segmentation order decides.
+        assert compile_scorer(segmentation).score(35, 70_000) == 0
+
+    def test_membership_agrees_with_segmentation_covers(self, segmentation):
+        rng = np.random.default_rng(23)
+        xs = rng.uniform(0, 100, 1500)
+        ys = rng.uniform(0, 160_000, 1500)
+        scorer = compile_scorer(segmentation)
+        assert np.array_equal(
+            scorer.in_segment(xs, ys), segmentation.covers(xs, ys)
+        )
+
+    def test_explain_returns_the_fired_rule(self, segmentation):
+        scorer = compile_scorer(segmentation)
+        rule = scorer.explain(65, 50_000)
+        assert rule == segmentation.rules[1]
+        assert scorer.explain(5, 5_000) is None
+
+    def test_empty_segmentation_scores_nothing(self):
+        empty = Segmentation(
+            rules=(), x_attribute="age", y_attribute="salary",
+            rhs_attribute="group", rhs_value="A",
+        )
+        scorer = compile_scorer(empty)
+        out = scorer.score_batch(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert np.array_equal(out, [-1, -1])
+
+    def test_rejects_nan(self, segmentation):
+        scorer = compile_scorer(segmentation)
+        with pytest.raises(ValueError, match="age"):
+            scorer.score_batch(np.array([np.nan]), np.array([1.0]))
+        with pytest.raises(ValueError, match="salary"):
+            scorer.score_batch(np.array([1.0]), np.array([np.nan]))
+
+    def test_rejects_mismatched_batches(self, segmentation):
+        scorer = compile_scorer(segmentation)
+        with pytest.raises(ValueError, match="differ"):
+            scorer.score_batch(np.zeros(3), np.zeros(4))
+
+    def test_compile_is_cached_per_segmentation_value(self, segmentation):
+        scorer_cache_clear()
+        first = compile_scorer(segmentation)
+        assert compile_scorer(segmentation) is first
+        # An equal-valued segmentation hits the same cache entry.
+        clone = Segmentation.from_rules(list(segmentation.rules))
+        assert compile_scorer(clone) is first
+
+    def test_table_is_immutable(self, segmentation):
+        scorer = compile_scorer(segmentation)
+        with pytest.raises(ValueError):
+            scorer.table[0, 0] = 5
+
+
+# ----------------------------------------------------------------------
+# Model registry
+# ----------------------------------------------------------------------
+class TestModelRegistry:
+    def test_loads_and_resolves_by_name_and_id(self, model_dir):
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        assert len(registry) == 1
+        model = registry.resolve("groupA")
+        assert registry.resolve(model.model_id) is model
+        assert "groupA" in registry
+        assert model.metadata["library_version"]
+
+    def test_model_id_is_a_content_hash(self, model_dir, tmp_path,
+                                        segmentation):
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        original = registry.resolve("groupA")
+        # The same bytes under another name get the same id.
+        copy = model_dir / "alias.json"
+        copy.write_bytes((model_dir / "groupA.json").read_bytes())
+        registry.refresh()
+        assert registry.resolve("alias").model_id == original.model_id
+
+    def test_unknown_model_raises_with_catalogue(self, model_dir):
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        with pytest.raises(KeyError, match="groupA"):
+            registry.resolve("nope")
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(NotADirectoryError):
+            ModelRegistry(tmp_path / "absent")
+
+    def test_invalid_artefact_fails_startup_loudly(self, model_dir):
+        (model_dir / "bad.json").write_text('{"format": "other"}')
+        from repro.persistence import PersistenceError
+        with pytest.raises(PersistenceError):
+            ModelRegistry(model_dir, refresh_interval=0).load()
+
+    def test_refresh_picks_up_changed_artefact(self, model_dir,
+                                               segmentation):
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        old = registry.resolve("groupA")
+        replacement = Segmentation.from_rules([
+            make_rule(0, 10, 0, 10)
+        ])
+        save_segmentation(replacement, model_dir / "groupA.json")
+        assert registry.refresh()
+        new = registry.resolve("groupA")
+        assert new.model_id != old.model_id
+        assert len(new.segmentation) == 1
+        # The old model object keeps working for in-flight requests.
+        assert compile_scorer(old.segmentation).score(25, 60_000) == 0
+
+    def test_refresh_without_changes_reports_none(self, model_dir):
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        assert not registry.refresh()
+
+    def test_refresh_drops_removed_artefacts(self, model_dir):
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        (model_dir / "groupA.json").unlink()
+        assert registry.refresh()
+        assert len(registry) == 0
+
+    def test_refresh_keeps_previous_version_of_corrupt_file(
+            self, model_dir, caplog):
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        old = registry.resolve("groupA")
+        (model_dir / "groupA.json").write_text("{not json")
+        with caplog.at_level("WARNING", logger="repro.serve.registry"):
+            registry.refresh()
+        assert "keeping previous version" in caplog.text
+        assert registry.resolve("groupA") is old
+
+    def test_negative_interval_disables_maybe_refresh(self, model_dir):
+        registry = ModelRegistry(model_dir, refresh_interval=-1).load()
+        (model_dir / "groupA.json").unlink()
+        assert not registry.maybe_refresh()
+        assert len(registry) == 1
+
+
+# ----------------------------------------------------------------------
+# Service endpoint logic (transport-free)
+# ----------------------------------------------------------------------
+class TestPredictionService:
+    @pytest.fixture()
+    def service(self, model_dir):
+        return PredictionService(
+            ModelRegistry(model_dir, refresh_interval=0).load()
+        )
+
+    def test_healthz(self, service):
+        body = service.healthz()
+        assert body["status"] == "ok"
+        assert body["models"] == 1
+
+    def test_models_lists_metadata(self, service):
+        entry = service.models()["models"][0]
+        assert entry["name"] == "groupA"
+        assert entry["rhs_value"] == "A"
+        assert entry["n_rules"] == 3
+        assert "library_version" in entry["metadata"]
+
+    def test_predict_inside_and_outside(self, service):
+        inside = service.predict({"model": "groupA", "x": 25, "y": 60_000})
+        assert inside["in_segment"] and inside["segment"] == "A"
+        outside = service.predict({"model": "groupA", "x": 5, "y": 5_000})
+        assert not outside["in_segment"]
+        assert outside["segment"] is None and outside["rule"] is None
+
+    def test_predict_batch_round_trips_json_types(self, service):
+        body = service.predict_batch({
+            "model": "groupA", "x": [25, 5], "y": [60_000, 5_000],
+        })
+        assert body["count"] == 2
+        assert body["in_segment"] == [True, False]
+        assert body["rule"] == [0, -1]
+        json.dumps(body)  # must be JSON-serializable
+
+    def test_explain_names_the_rule(self, service):
+        body = service.explain({"model": "groupA", "x": 65, "y": 50_000})
+        explanation = body["explanation"]
+        assert explanation["index"] == 1
+        assert "60 <= age <= 80" in explanation["text"]
+        assert explanation["x_interval"]["closed_high"] is True
+        missed = service.explain({"model": "groupA", "x": 5, "y": 5_000})
+        assert missed["explanation"] is None
+
+    def test_unknown_model_is_404(self, service):
+        with pytest.raises(ServiceError) as exc:
+            service.predict({"model": "ghost", "x": 1, "y": 2})
+        assert exc.value.status == 404
+
+    @pytest.mark.parametrize("payload", [
+        {"x": 1, "y": 2},                                # no model
+        {"model": "groupA", "y": 2},                     # no x
+        {"model": "groupA", "x": "wide", "y": 2},        # non-numeric
+        {"model": "groupA", "x": True, "y": 2},          # bool is not a number
+    ])
+    def test_bad_predict_payloads_are_400(self, service, payload):
+        with pytest.raises(ServiceError) as exc:
+            service.predict(payload)
+        assert exc.value.status == 400
+
+    @pytest.mark.parametrize("payload", [
+        {"model": "groupA", "x": [1], "y": [2, 3]},      # length mismatch
+        {"model": "groupA", "x": 1, "y": [2]},           # not a list
+        {"model": "groupA", "x": [[1]], "y": [[2]]},     # not 1-D
+        {"model": "groupA", "x": [float("nan")], "y": [2.0]},  # NaN
+    ])
+    def test_bad_batch_payloads_are_400(self, service, payload):
+        with pytest.raises(ServiceError) as exc:
+            service.predict_batch(payload)
+        assert exc.value.status == 400
+
+    def test_dispatch_maps_errors_to_statuses(self, service):
+        status, body = service.dispatch("predict", {"model": "ghost",
+                                                    "x": 1, "y": 2})
+        assert status == 404 and "error" in body
+        status, _ = service.dispatch("no-such-endpoint", {})
+        assert status == 404
+
+    def test_dispatch_records_metrics(self, service):
+        from repro.obs import metrics as metrics_mod
+        registry = metrics_mod.MetricsRegistry()
+        metrics_mod.enable(registry)
+        try:
+            service.dispatch("predict",
+                             {"model": "groupA", "x": 25, "y": 60_000})
+            service.dispatch("predict", {"model": "ghost", "x": 1, "y": 2})
+            snapshot = registry.snapshot()
+        finally:
+            metrics_mod.disable()
+        assert snapshot["counters"]["serve.requests"] == 2
+        assert snapshot["counters"]["serve.requests_predict"] == 2
+        assert snapshot["counters"]["serve.request_errors"] == 1
+        assert snapshot["histograms"]["serve.request_seconds"]["count"] == 2
+
+    def test_dispatch_records_request_spans_when_tracing(self, service):
+        from repro.obs import tracing
+        tracing.enable()
+        try:
+            service.dispatch("healthz", None)
+        finally:
+            tracing.disable()
+        assert [span.name for span in service.recent_spans] == [
+            "serve.healthz"
+        ]
+        span = service.recent_spans[0]
+        assert span.attributes["status"] == 200
+        assert span.duration is not None
+
+
+# ----------------------------------------------------------------------
+# HTTP integration (real sockets, ephemeral port)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def server(model_dir):
+    server = create_server(model_dir, port=0, refresh_interval=0)
+    server.serve_in_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path,
+                                    timeout=5) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+class TestHTTPServer:
+    def test_healthz_and_models(self, server):
+        status, body = _get(server, "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        status, body = _get(server, "/models")
+        assert status == 200
+        assert body["models"][0]["name"] == "groupA"
+
+    def test_predict_and_explain(self, server):
+        status, body = _post(server, "/predict",
+                             {"model": "groupA", "x": 25, "y": 60_000})
+        assert status == 200 and body["in_segment"]
+        status, body = _post(server, "/explain",
+                             {"model": "groupA", "x": 25, "y": 60_000})
+        assert status == 200 and body["explanation"]["index"] == 0
+
+    def test_predict_batch(self, server):
+        status, body = _post(server, "/predict_batch", {
+            "model": "groupA", "x": [25, 5], "y": [60_000, 5_000],
+        })
+        assert status == 200
+        assert body["in_segment"] == [True, False]
+
+    def test_metrics_endpoint_reflects_registry_state(self, server):
+        from repro.obs import metrics as metrics_mod
+        status, body = _get(server, "/metrics")
+        assert status == 200 and body["enabled"] is False
+        metrics_mod.enable(metrics_mod.MetricsRegistry())
+        try:
+            _post(server, "/predict",
+                  {"model": "groupA", "x": 25, "y": 60_000})
+            status, body = _get(server, "/metrics")
+        finally:
+            metrics_mod.disable()
+        assert body["enabled"] is True
+        assert body["metrics"]["counters"]["serve.requests"] >= 1
+
+    def test_error_statuses(self, server):
+        assert _get(server, "/nope")[0] == 404
+        assert _post(server, "/predict", {"model": "ghost",
+                                          "x": 1, "y": 2})[0] == 404
+        assert _post(server, "/predict", {"model": "groupA"})[0] == 400
+        request = urllib.request.Request(
+            server.url + "/predict", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=5)
+        assert exc.value.code == 400
+
+    def test_hot_reload_swaps_models_between_requests(self, server,
+                                                      model_dir):
+        _, before = _post(server, "/predict",
+                          {"model": "groupA", "x": 25, "y": 60_000})
+        assert before["in_segment"]
+        replacement = Segmentation.from_rules([make_rule(0, 10, 0, 10)])
+        save_segmentation(replacement, model_dir / "groupA.json")
+        _, after = _post(server, "/predict",
+                         {"model": "groupA", "x": 25, "y": 60_000})
+        assert not after["in_segment"]
+        assert after["model"] != before["model"]
+
+    def test_concurrent_requests_succeed(self, server):
+        results = []
+
+        def worker():
+            results.append(_post(server, "/predict", {
+                "model": "groupA", "x": 25, "y": 60_000,
+            }))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 8
+        assert all(status == 200 and body["in_segment"]
+                   for status, body in results)

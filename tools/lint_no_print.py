@@ -16,6 +16,12 @@ Allowed emitters, per scanned root:
   *modules* must report through ``emit`` so every result also lands in
   ``benchmarks/results/``.
 
+``src/repro/serve`` is deliberately **not** exempt: a serving process
+must emit through logging and ``repro.obs`` (request logs go to the
+``repro.serve.service`` logger), never to stdout.  CI scans it as its
+own root so the rule stays enforced even if the ``repro`` allowlist
+grows.
+
 Usage: ``python tools/lint_no_print.py [src/repro benchmarks ...]``
 """
 
