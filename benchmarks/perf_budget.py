@@ -327,6 +327,21 @@ def rebaseline(results: list[dict], tolerance: float, path: Path) -> None:
     print(f"rebaselined budgets written to {path}")
 
 
+def determinism_gate() -> list[str]:
+    """The ``determinism`` checker's findings for the pipeline packages.
+
+    Speedup ratios are only comparable when both sides compute the same
+    thing on every run, so the harness refuses to time code that draws
+    from global or unseeded RNGs (see docs/static_analysis.md).
+    """
+    if str(REPO_ROOT) not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT))
+    from tools.analyze import run_analysis
+
+    result = run_analysis(select=["determinism"], repo_root=REPO_ROOT)
+    return [finding.render() for finding in result.findings]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -344,6 +359,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="rewrite the budget file from this run "
                              "instead of gating on it")
     args = parser.parse_args(argv)
+
+    problems = determinism_gate()
+    if problems:
+        print("determinism gate failed; refusing to time "
+              "non-deterministic kernels:")
+        for line in problems:
+            print(f"  {line}")
+        return 1
 
     budget_payload = load_budgets(args.budgets)
     tolerance = float(budget_payload.get("noise_tolerance", 0.25))

@@ -1,0 +1,155 @@
+"""The declared observability vocabulary: every metric and span name.
+
+Instrumented code may only emit names declared here; the
+``obs-catalogue`` pass of ``python -m tools.analyze`` fails CI on any
+drift in either direction, and ``python -m tools.analyze --fix``
+regenerates this module (preserving descriptions) plus the metric
+table in ``docs/observability.md``.  Names containing ``{...}`` are
+templates matching one dotted-name segment (``serve.requests_{endpoint}``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["METRICS", "SPANS"]
+
+#: metric name -> (kind, meaning); kinds: counter | gauge | histogram.
+METRICS: dict[str, tuple[str, str]] = {
+    'binner.cells_occupied':
+        ('gauge',
+         'cells holding at least one tuple'),
+    'binner.chunks_consumed':
+        ('counter',
+         'chunks the binner consumed'),
+    'binner.grid_cells':
+        ('gauge',
+         'total cells of the current grid'),
+    'binner.occupancy_fraction':
+        ('gauge',
+         'occupied / total cells'),
+    'binner.tuples_binned':
+        ('counter',
+         'tuples streamed into the BinArray'),
+    'bitop.clusters_found':
+        ('counter',
+         'rectangles the greedy cover kept'),
+    'bitop.rectangles_enumerated':
+        ('counter',
+         'candidate rectangles BitOp enumerated'),
+    'engine.cells_qualified':
+        ('counter',
+         'cells clearing both thresholds'),
+    'engine.scans':
+        ('counter',
+         'rule-engine passes over the BinArray'),
+    'optimizer.trial_seconds':
+        ('histogram',
+         'wall-clock per optimizer trial'),
+    'optimizer.trials':
+        ('counter',
+         'threshold pairs tried'),
+    'pruning.clusters_dropped':
+        ('counter',
+         'clusters removed by dynamic pruning'),
+    'pruning.clusters_kept':
+        ('counter',
+         'clusters surviving pruning'),
+    'serve.batch_size':
+        ('histogram',
+         'tuples per `score_batch` call'),
+    'serve.compile_seconds':
+        ('histogram',
+         'wall-clock per scorer compilation'),
+    'serve.models_loaded':
+        ('gauge',
+         'models currently resolvable in the registry'),
+    'serve.reload_errors':
+        ('counter',
+         'artefacts that failed to reload (previous version kept)'),
+    'serve.reloads':
+        ('counter',
+         'registry refreshes that changed the model set'),
+    'serve.request_errors':
+        ('counter',
+         'requests answered with a 4xx/5xx status'),
+    'serve.request_seconds':
+        ('histogram',
+         'wall-clock per request'),
+    'serve.requests':
+        ('counter',
+         'HTTP requests dispatched (all endpoints)'),
+    'serve.requests_{endpoint}':
+        ('counter',
+         'requests per endpoint (`predict`, `predict_batch`, `explain`, `models`, `healthz`, `metrics`)'),
+    'serve.scorer_cache_hits':
+        ('counter',
+         '`compile_scorer` LRU cache hits'),
+    'serve.scorer_cache_misses':
+        ('counter',
+         '`compile_scorer` LRU cache misses'),
+    'serve.tuples_scored':
+        ('counter',
+         'tuples scored by `CompiledScorer.score_batch`'),
+    'smoothing.cells_flipped':
+        ('counter',
+         'cells changed by the low-pass filter'),
+    'verifier.parallel_batches':
+        ('counter',
+         'repeat blocks dispatched to the verifier worker pool'),
+    'verifier.samples_drawn':
+        ('counter',
+         'k-of-n samples drawn'),
+    'verifier.tuples_sampled':
+        ('counter',
+         'tuples across all samples'),
+    'verifier.tuples_scanned':
+        ('counter',
+         'tuples read by exact verification'),
+}
+
+#: span name -> meaning (see the span tree in docs/observability.md).
+SPANS: dict[str, str] = {
+    'arcs.fit':
+        'one full ARCS fit for a single RHS value',
+    'arcs.fit_all':
+        'one ARCS fit over every RHS value of the target attribute',
+    'bin':
+        'streaming the table into the BinArray',
+    'bitop':
+        'BitOp rectangle enumeration and greedy cover',
+    'cli.describe':
+        'the `arcs describe` command (load + profile)',
+    'cli.inspect':
+        'the `arcs inspect` command (load + optional evaluation)',
+    'cli.remine':
+        'the `arcs remine` command (threshold re-mining)',
+    'cli.score':
+        'the `arcs score` command (CSV batch scoring)',
+    'cluster':
+        'one clustering pass: mine, smooth, bitop, merge, prune',
+    'fit_value':
+        'one RHS value inside `arcs.fit_all`',
+    'load':
+        'reading the input artefact or CSV from disk',
+    'merge':
+        'merging adjacent clustered rectangles',
+    'mine':
+        'the single-pass rule engine over the BinArray',
+    'optimizer.search':
+        'the MDL-guided threshold search',
+    'optimizer.trial':
+        'one threshold pair tried by the optimizer',
+    'profile':
+        'profiling column types and occupancy for `describe`',
+    'prune':
+        'dynamic pruning of low-value clusters',
+    'score':
+        'scoring the input batch in `arcs score`',
+    'serve.{endpoint}':
+        'one HTTP request to the named serving endpoint',
+    'smooth':
+        'low-pass smoothing of the rule grid',
+    'verify':
+        'sampled verification of the segmentation',
+    'verify.exact':
+        'exact full-scan verification of the segmentation',
+}

@@ -23,9 +23,15 @@ Full reference: ``docs/serving.md``.
 """
 
 from repro.serve.app import create_server, run_server
-from repro.serve.registry import ModelRegistry, ServedModel
+from repro.serve.registry import (
+    ModelDirectoryError,
+    ModelNotFoundError,
+    ModelRegistry,
+    ServedModel,
+)
 from repro.serve.scorer import (
     CompiledScorer,
+    ScoringError,
     compile_scorer,
     scorer_cache_clear,
 )
@@ -37,9 +43,12 @@ from repro.serve.service import (
 
 __all__ = [
     "CompiledScorer",
+    "ModelDirectoryError",
+    "ModelNotFoundError",
     "ModelRegistry",
     "PredictionServer",
     "PredictionService",
+    "ScoringError",
     "ServedModel",
     "ServiceError",
     "compile_scorer",

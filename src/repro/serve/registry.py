@@ -44,7 +44,30 @@ from repro.persistence import (
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["ModelRegistry", "ServedModel"]
+__all__ = [
+    "ModelDirectoryError",
+    "ModelNotFoundError",
+    "ModelRegistry",
+    "ServedModel",
+]
+
+
+class ModelDirectoryError(NotADirectoryError):
+    """The configured model directory does not exist.
+
+    Subclasses :class:`NotADirectoryError` so callers catching the
+    builtin (or generic :class:`OSError`) keep working; raising the
+    library type is the serving layer's exception policy (enforced by
+    the ``exception-policy`` checker of ``tools.analyze``).
+    """
+
+
+class ModelNotFoundError(KeyError):
+    """No served model under the requested id or name.
+
+    Subclasses :class:`KeyError` for compatibility with callers of
+    :meth:`ModelRegistry.resolve` that treat the registry as a mapping.
+    """
 
 
 @dataclass(frozen=True, eq=False)
@@ -112,7 +135,7 @@ class ModelRegistry:
                  refresh_interval: float = 1.0):
         self.directory = Path(directory)
         if not self.directory.is_dir():
-            raise NotADirectoryError(
+            raise ModelDirectoryError(
                 f"model directory {self.directory} does not exist"
             )
         #: Seconds between directory re-stats on the request path; 0
@@ -214,7 +237,7 @@ class ModelRegistry:
         """A model by content-hash id or by file-stem name."""
         model = self._by_key.get(key)
         if model is None:
-            raise KeyError(
+            raise ModelNotFoundError(
                 f"no model {key!r}; serving "
                 f"{sorted(m.name for m in self._models.values())}"
             )

@@ -50,7 +50,21 @@ from repro.obs import metrics
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["CompiledScorer", "compile_scorer", "scorer_cache_clear"]
+__all__ = [
+    "CompiledScorer",
+    "ScoringError",
+    "compile_scorer",
+    "scorer_cache_clear",
+]
+
+
+class ScoringError(ValueError):
+    """A batch that cannot be scored (NaN input, mismatched shapes).
+
+    Subclasses :class:`ValueError` so existing callers — the prediction
+    service maps it to HTTP 400 — keep working; raising the library
+    type is the serving layer's exception policy.
+    """
 
 
 def _endpoint_edges(intervals: list[Interval]) -> np.ndarray:
@@ -92,7 +106,7 @@ def _positions(edges: np.ndarray, values: np.ndarray,
     """
     values = np.asarray(values, dtype=np.float64)
     if np.isnan(values).any():
-        raise ValueError(
+        raise ScoringError(
             f"column {attribute!r} contains NaN; clean the data "
             "before scoring"
         )
@@ -138,7 +152,7 @@ class CompiledScorer:
             self.y_edges, y_values, self.segmentation.y_attribute
         )
         if x_positions.shape != y_positions.shape:
-            raise ValueError(
+            raise ScoringError(
                 f"x and y batches differ in shape: "
                 f"{x_positions.shape} vs {y_positions.shape}"
             )

@@ -45,7 +45,7 @@ import numpy as np
 from repro.obs import metrics, tracing
 from repro.obs.tracing import Span
 from repro.serve.registry import ModelRegistry, ServedModel
-from repro.serve.scorer import compile_scorer
+from repro.serve.scorer import ScoringError, compile_scorer
 
 logger = logging.getLogger(__name__)
 
@@ -181,7 +181,7 @@ class PredictionService:
             )
         try:
             indices = compile_scorer(model.segmentation).score_batch(x, y)
-        except ValueError as error:  # NaN in the batch
+        except ScoringError as error:  # NaN in the batch
             raise ServiceError(400, str(error)) from None
         return {
             "model": model.model_id,
@@ -215,7 +215,7 @@ class PredictionService:
     def _score_one(self, model: ServedModel, x: float, y: float) -> int:
         try:
             return compile_scorer(model.segmentation).score(x, y)
-        except ValueError as error:  # NaN input
+        except ScoringError as error:  # NaN input
             raise ServiceError(400, str(error)) from None
 
     # ------------------------------------------------------------------

@@ -1,0 +1,37 @@
+"""Fixture: every ``concurrency`` rule fires at least once."""
+
+import threading
+
+
+class BadService:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.counter = 0
+        self.snapshot = {}
+        self.mode = "idle"
+
+    def set_mode(self, mode):
+        with self._lock:
+            self.mode = mode
+
+    def reset_mode(self):
+        self.mode = "idle"
+
+    def bump(self):
+        self.counter += 1
+
+    def record(self, key, value):
+        self.snapshot[key] = value
+
+    def merge(self, extra):
+        self.snapshot.update(extra)
+
+    def rebuild(self, models):
+        table = {}
+        self.snapshot = table
+        table["late"] = models
+
+    def guard(self):
+        lock = threading.Lock()
+        with lock:
+            return self.counter

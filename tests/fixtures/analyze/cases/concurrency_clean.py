@@ -1,0 +1,24 @@
+"""Fixture: ``concurrency`` accepts the repo's two sanctioned shapes —
+lock-guarded writes and immutable snapshots swapped in one assignment."""
+
+import threading
+
+
+class CleanService:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.counter = 0
+        self.snapshot = {}
+
+    def bump(self):
+        with self._lock:
+            self.counter += 1
+
+    def rebuild(self, models):
+        table = {}
+        for name, model in models.items():
+            table[name] = model
+        self.snapshot = table
+
+    def read(self, key):
+        return self.snapshot.get(key)

@@ -1,0 +1,12 @@
+"""Fixture: ``determinism`` fires on global and unseeded RNG use."""
+
+import random
+
+import numpy as np
+
+
+def shuffle(values):
+    random.shuffle(values)
+    noise = np.random.rand(len(values))
+    rng = np.random.default_rng()
+    return rng.permutation(values) + noise

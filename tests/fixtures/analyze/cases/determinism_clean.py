@@ -1,0 +1,8 @@
+"""Fixture: ``determinism`` allows seeded Generators."""
+
+import numpy as np
+
+
+def shuffle(values, seed):
+    rng = np.random.default_rng(seed)
+    return rng.permutation(values)

@@ -1,0 +1,28 @@
+"""Fixture: every ``exception-policy`` rule fires at least once."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+
+
+def parse(blob):
+    try:
+        return int(blob)
+    except Exception:
+        pass
+
+
+def convert(blob):
+    try:
+        return float(blob)
+    except Exception:
+        return 0.0
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(key)
+    return table[key]

@@ -1,0 +1,36 @@
+"""Fixture: ``exception-policy`` stays silent on disciplined handling."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+class FixtureError(KeyError):
+    """A library error type (subclasses the builtin for callers)."""
+
+
+def lookup(table, key):
+    if key not in table:
+        raise FixtureError(key)
+    return table[key]
+
+
+def _fetch(table, key):
+    if key not in table:
+        raise KeyError(key)
+    return table[key]
+
+
+def robust(blob):
+    try:
+        return int(blob)
+    except ValueError:
+        return 0
+
+
+def boundary(action):
+    try:
+        return action()
+    except Exception:
+        logger.exception("action failed")
+        return None

@@ -1,0 +1,5 @@
+"""Fixture: ``no-print`` fires on a bare print call."""
+
+
+def report(rows):
+    print(len(rows))

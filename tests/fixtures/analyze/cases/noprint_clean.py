@@ -1,0 +1,9 @@
+"""Fixture: ``no-print`` stays silent on logging output."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def report(rows):
+    logger.info("%d rows", len(rows))

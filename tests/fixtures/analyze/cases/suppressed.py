@@ -1,0 +1,9 @@
+"""Fixture: an ``arcs-analyze: ignore[...]`` comment drops the finding."""
+
+
+def report(rows):
+    print(len(rows))  # arcs-analyze: ignore[no-print]
+
+
+def report_all(rows):
+    print(rows)  # arcs-analyze: ignore

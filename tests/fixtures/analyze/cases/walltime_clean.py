@@ -1,0 +1,12 @@
+"""Fixture: ``no-wall-time`` allows perf_counter and waived timestamps."""
+
+import time
+from time import perf_counter
+
+
+def elapsed(started):
+    return perf_counter() - started
+
+
+def stamp():
+    return time.time()  # wall-clock: ok (report timestamp)

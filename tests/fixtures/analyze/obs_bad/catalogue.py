@@ -1,0 +1,15 @@
+"""Fixture catalogue: one orphan, one kind mismatch waiting to happen."""
+
+METRICS: dict[str, tuple[str, str]] = {
+    'demo.requests':
+        ('counter',
+         'requests served'),
+    'demo.orphan':
+        ('counter',
+         'declared but never emitted'),
+}
+
+SPANS: dict[str, str] = {
+    'demo.run':
+        'one fixture run',
+}

@@ -1,0 +1,11 @@
+"""Fixture emitters: one undeclared name, one kind mismatch."""
+
+from repro.obs import metrics, tracing
+
+
+def handle():
+    metrics.inc("demo.requests")
+    metrics.set_gauge("demo.requests", 1)
+    metrics.inc("demo.unknown")
+    with tracing.trace("demo.run"):
+        pass

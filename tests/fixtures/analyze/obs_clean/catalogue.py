@@ -1,0 +1,18 @@
+"""Fixture catalogue: in sync with ``emitters.py`` and the docs table."""
+
+METRICS: dict[str, tuple[str, str]] = {
+    'demo.latency_seconds':
+        ('histogram',
+         'time per request'),
+    'demo.requests':
+        ('counter',
+         'requests served'),
+    'demo.requests_{endpoint}':
+        ('counter',
+         'requests per endpoint'),
+}
+
+SPANS: dict[str, str] = {
+    'demo.run':
+        'one fixture run',
+}

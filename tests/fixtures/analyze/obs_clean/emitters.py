@@ -1,0 +1,11 @@
+"""Fixture emitters: every name (and the f-string template) declared."""
+
+from repro.obs import metrics, tracing
+
+
+def handle(endpoint):
+    metrics.inc("demo.requests")
+    metrics.inc(f"demo.requests_{endpoint}")
+    metrics.observe("demo.latency_seconds", 0.1)
+    with tracing.trace("demo.run"):
+        pass

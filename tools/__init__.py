@@ -1,0 +1,1 @@
+"""Developer tooling for the ARCS repository (not shipped with repro)."""

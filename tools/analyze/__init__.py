@@ -1,0 +1,62 @@
+"""``arcs-analyze``: the repository's unified AST static analysis.
+
+A plugin framework (``tools.analyze.driver``) parses each source file
+once and dispatches the AST to every registered checker
+(``tools.analyze.checkers``), so adding an invariant costs one plugin,
+not one more full-tree walker.  Configuration lives in
+``pyproject.toml`` under ``[tool.arcs-analyze]``; findings are
+line-suppressible with ``# arcs-analyze: ignore[checker-name]``.
+
+Run it as ``python -m tools.analyze --all`` (CI), pass file paths
+(pre-commit), or call :func:`run_analysis` from other tooling —
+``benchmarks/perf_budget.py`` gates its timings on the ``determinism``
+checker this way.  See ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.analyze.checkers import ALL_CHECKERS, checker_classes
+from tools.analyze.config import (
+    AnalyzeConfig,
+    CheckerConfig,
+    load_config,
+)
+from tools.analyze.driver import (
+    Analysis,
+    AnalysisResult,
+    Checker,
+    Finding,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Analysis",
+    "AnalysisResult",
+    "AnalyzeConfig",
+    "Checker",
+    "CheckerConfig",
+    "Finding",
+    "checker_classes",
+    "load_config",
+    "run_analysis",
+]
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def run_analysis(paths: list[str | Path] | None = None,
+                 select: list[str] | None = None,
+                 repo_root: str | Path | None = None) -> AnalysisResult:
+    """Run the configured checkers and return the result.
+
+    ``paths=None`` scans every configured root (a *complete* run, which
+    additionally enables the cross-file orphan checks); a list of paths
+    restricts scanning to those files.  ``select`` names a checker
+    subset.
+    """
+    root = Path(repo_root) if repo_root is not None else _REPO_ROOT
+    config = load_config(root)
+    analysis = Analysis(config, checker_classes(select))
+    return analysis.run(paths)

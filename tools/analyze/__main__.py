@@ -1,0 +1,98 @@
+"""Command-line front end: ``python -m tools.analyze``.
+
+Exit status: 0 clean, 1 findings, 2 usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.analyze import (
+    Analysis,
+    checker_classes,
+    load_config,
+)
+from tools.analyze.checkers import ALL_CHECKERS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description=("Unified AST static analysis for the ARCS "
+                     "repository (docs/static_analysis.md)."),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files to scan (pre-commit passes changed files); "
+             "default: every configured root",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="scan every configured root (explicit form of the "
+             "no-paths default; overrides any listed paths)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="NAME",
+        help="run only the named checker (repeatable, or "
+             "comma-separated)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical fixes (regenerates the obs catalogue "
+             "and docs table), then re-check",
+    )
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="list the registered checkers and exit",
+    )
+    parser.add_argument(
+        "--pyproject", type=Path, default=None,
+        help="config file (default: pyproject.toml at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        width = max(len(cls.name) for cls in ALL_CHECKERS)
+        for cls in ALL_CHECKERS:
+            print(f"{cls.name:<{width}}  {cls.description}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [name.strip()
+                  for entry in args.select
+                  for name in entry.split(",") if name.strip()]
+    repo_root = Path(__file__).resolve().parent.parent.parent
+    try:
+        config = load_config(repo_root, args.pyproject)
+        classes = checker_classes(select)
+    except ValueError as error:
+        print(f"arcs-analyze: {error}", file=sys.stderr)
+        return 2
+
+    paths = None if (args.all or not args.paths) else list(args.paths)
+    analysis = Analysis(config, classes)
+    result = analysis.run(paths)
+
+    if args.fix and not result.ok:
+        changed = analysis.fix(result)
+        if changed:
+            print("arcs-analyze: rewrote "
+                  + ", ".join(sorted(set(changed))), file=sys.stderr)
+            # Re-run so the report reflects the fixed tree.
+            analysis = Analysis(config, checker_classes(select))
+            result = analysis.run(paths)
+
+    print(result.to_json() if args.format == "json"
+          else result.render())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

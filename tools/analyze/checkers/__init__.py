@@ -1,0 +1,35 @@
+"""The built-in checker plugins, in the order they report."""
+
+from tools.analyze.checkers.no_print import NoPrintChecker
+from tools.analyze.checkers.no_wall_time import NoWallTimeChecker
+from tools.analyze.checkers.concurrency import ConcurrencyChecker
+from tools.analyze.checkers.determinism import DeterminismChecker
+from tools.analyze.checkers.exception_policy import (
+    ExceptionPolicyChecker,
+)
+from tools.analyze.checkers.obs_catalogue import ObsCatalogueChecker
+
+__all__ = ["ALL_CHECKERS", "checker_classes"]
+
+ALL_CHECKERS = (
+    NoPrintChecker,
+    NoWallTimeChecker,
+    ConcurrencyChecker,
+    DeterminismChecker,
+    ExceptionPolicyChecker,
+    ObsCatalogueChecker,
+)
+
+
+def checker_classes(select: list[str] | None = None):
+    """The registered checker classes, optionally filtered by name."""
+    if select is None:
+        return list(ALL_CHECKERS)
+    known = {cls.name: cls for cls in ALL_CHECKERS}
+    unknown = [name for name in select if name not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown checker(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(known))}"
+        )
+    return [known[name] for name in select]

@@ -1,0 +1,241 @@
+"""``concurrency``: the serving layer's shared-state discipline.
+
+``repro.serve`` is a threaded server built on two conventions instead
+of pervasive locking: state shared between request threads is either
+**immutable after publication** (snapshot dicts swapped with one atomic
+reference assignment, as in ``ModelRegistry._install``) or **guarded by
+the owning object's ``self._lock``** (as in ``MetricsRegistry``).  This
+checker machine-checks the conventions inside its configured roots:
+
+* **unguarded writes to lock-guarded attributes** — if a class ever
+  assigns ``self.attr`` inside a ``with self._lock:`` block, every
+  other assignment to that attribute (outside ``__init__``) must be
+  guarded too;
+* **non-atomic read-modify-write** — ``self.attr += ...`` outside a
+  lock is a race (two request threads interleave load and store), even
+  though either plain assignment alone would be atomic under the GIL;
+* **in-place mutation of published mappings** — ``self.attr[k] = v``,
+  ``del self.attr[k]`` or dict mutators (``update``/``pop``/
+  ``setdefault``/``popitem``/``clear``) outside a lock mutate a
+  snapshot concurrent readers may hold; build a replacement and swap it
+  in one assignment instead;
+* **publish-then-mutate** — assigning a local container to a ``self``
+  attribute *publishes* it to other threads; mutating that local
+  afterwards in the same function mutates the published snapshot;
+* **per-call synchronisation primitives** — ``threading.Lock()`` (or
+  ``RLock``/``Condition``/``Event``/``Semaphore``/``Barrier``) created
+  anywhere but ``__init__`` or module level guards nothing, because
+  every call gets a fresh primitive.
+
+``__init__`` is exempt from the attribute rules: until the constructor
+returns, no other thread can hold the object.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analyze.driver import Checker, FileContext
+
+__all__ = ["ConcurrencyChecker"]
+
+_PRIMITIVES = {
+    "Lock", "RLock", "Condition", "Event", "Semaphore",
+    "BoundedSemaphore", "Barrier",
+}
+
+#: Mutators of dict-like snapshots (the structures this layer shares).
+_DICT_MUTATORS = {"update", "setdefault", "pop", "popitem", "clear"}
+
+#: Mutators that matter once a local container has been published.
+_ANY_MUTATORS = _DICT_MUTATORS | {
+    "append", "extend", "insert", "remove", "add", "discard",
+}
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.attr`` -> ``"attr"``, else ``None``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _is_lock_item(item: ast.withitem) -> bool:
+    attr = _self_attr(item.context_expr)
+    return attr is not None and "lock" in attr.lower()
+
+
+class ConcurrencyChecker(Checker):
+    name = "concurrency"
+    description = ("shared-state discipline in the threaded serving "
+                   "layer (locks, snapshot immutability)")
+    interests = (ast.Call, ast.ClassDef)
+
+    # ------------------------------------------------------------------
+    # Per-call-site rule: threading primitives created per call
+    # ------------------------------------------------------------------
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            self._check_primitive(ctx, node)
+        elif isinstance(node, ast.ClassDef):
+            self._check_class(ctx, node)
+
+    def _check_primitive(self, ctx: FileContext, node: ast.Call) -> None:
+        resolved = ctx.imports.resolve(node.func)
+        if resolved is None or not resolved.startswith("threading."):
+            return
+        if resolved.split(".")[-1] not in _PRIMITIVES:
+            return
+        function = ctx.enclosing_function()
+        if function is None or function.name == "__init__":
+            return
+        ctx.report(
+            self, node,
+            f"{resolved}() created inside {function.name}(); a "
+            "primitive built per call guards nothing — create it once "
+            "in __init__ (or at module level)",
+        )
+
+    # ------------------------------------------------------------------
+    # Per-class rules
+    # ------------------------------------------------------------------
+    def _check_class(self, ctx: FileContext, node: ast.ClassDef) -> None:
+        methods = [
+            child for child in node.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        writes: list[tuple[ast.stmt, str, bool, bool, str]] = []
+        # (node, attr, under_lock, is_aug, method) for every self.attr
+        # assignment outside __init__.
+        for method in methods:
+            if method.name == "__init__":
+                continue
+            self._scan_method(ctx, method, writes)
+        guarded = {attr for _, attr, locked, _, _ in writes if locked}
+        for stmt, attr, locked, is_aug, method_name in writes:
+            if locked:
+                continue
+            if is_aug:
+                ctx.report(
+                    self, stmt,
+                    f"self.{attr} augmented outside a lock in "
+                    f"{method_name}(); += on shared state is a "
+                    "non-atomic read-modify-write",
+                )
+            elif attr in guarded:
+                ctx.report(
+                    self, stmt,
+                    f"self.{attr} is written under 'with self._lock:' "
+                    f"elsewhere in {node.name} but assigned unguarded "
+                    f"in {method_name}(); guard every write",
+                )
+
+    def _scan_method(self, ctx: FileContext, method: ast.AST,
+                     writes: list) -> None:
+        published: dict[str, int] = {}  # local name -> publish lineno
+
+        def scan(node: ast.AST, under_lock: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_lock = under_lock
+                if isinstance(child, ast.With) and any(
+                        _is_lock_item(item) for item in child.items):
+                    child_lock = True
+                self._scan_stmt(ctx, child, under_lock, method,
+                                writes, published)
+                scan(child, child_lock)
+
+        scan(method, False)
+
+    def _scan_stmt(self, ctx: FileContext, node: ast.AST,
+                   under_lock: bool, method: ast.AST,
+                   writes: list, published: dict[str, int]) -> None:
+        method_name = method.name
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    writes.append((
+                        node, attr, under_lock,
+                        isinstance(node, ast.AugAssign), method_name,
+                    ))
+                    # Publishing a local container to self: later
+                    # in-place mutation of the local mutates the
+                    # now-shared snapshot.
+                    value = getattr(node, "value", None)
+                    if isinstance(value, ast.Name):
+                        published.setdefault(value.id, node.lineno)
+                elif isinstance(target, ast.Subscript):
+                    self._check_subscript(ctx, node, target,
+                                          under_lock, method_name,
+                                          published)
+                elif (isinstance(target, ast.Name)
+                      and target.id in published
+                      and isinstance(node, ast.Assign)):
+                    # Rebound to a fresh object: no longer the
+                    # published snapshot.
+                    del published[target.id]
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    self._check_subscript(ctx, node, target,
+                                          under_lock, method_name,
+                                          published)
+        elif isinstance(node, ast.Call):
+            self._check_mutator_call(ctx, node, under_lock,
+                                     method_name, published)
+
+    def _check_subscript(self, ctx: FileContext, stmt: ast.AST,
+                         target: ast.Subscript, under_lock: bool,
+                         method_name: str,
+                         published: dict[str, int]) -> None:
+        if under_lock:
+            return
+        attr = _self_attr(target.value)
+        if attr is not None:
+            ctx.report(
+                self, stmt,
+                f"self.{attr}[...] mutated in place in {method_name}() "
+                "outside a lock; concurrent readers may hold this "
+                "snapshot — build a replacement and swap it in one "
+                "assignment",
+            )
+            return
+        if (isinstance(target.value, ast.Name)
+                and target.value.id in published
+                and stmt.lineno > published[target.value.id]):
+            ctx.report(
+                self, stmt,
+                f"local '{target.value.id}' was published to self at "
+                f"line {published[target.value.id]} and is mutated "
+                f"afterwards; mutate before publishing, or publish a "
+                "copy",
+            )
+
+    def _check_mutator_call(self, ctx: FileContext, node: ast.Call,
+                            under_lock: bool, method_name: str,
+                            published: dict[str, int]) -> None:
+        if under_lock or not isinstance(node.func, ast.Attribute):
+            return
+        owner = node.func.value
+        attr = _self_attr(owner)
+        if attr is not None and node.func.attr in _DICT_MUTATORS:
+            ctx.report(
+                self, node,
+                f"self.{attr}.{node.func.attr}(...) in {method_name}() "
+                "outside a lock mutates a shared mapping in place; "
+                "build a replacement and swap it in one assignment",
+            )
+            return
+        if (isinstance(owner, ast.Name) and owner.id in published
+                and node.func.attr in _ANY_MUTATORS
+                and node.lineno > published[owner.id]):
+            ctx.report(
+                self, node,
+                f"local '{owner.id}' was published to self at line "
+                f"{published[owner.id]} and is mutated afterwards via "
+                f".{node.func.attr}(); mutate before publishing",
+            )

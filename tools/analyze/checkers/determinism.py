@@ -1,0 +1,91 @@
+"""``determinism``: reproducible randomness in the pipeline packages.
+
+The paper's re-mining and verification guarantees (ARCS Sections 3.2
+and 3.6) require bit-identical reruns, and the perf-budget harness
+compares kernels that must agree exactly — so the pipeline packages may
+never draw entropy from process-global state.  Inside the configured
+roots (``src/repro/{core,binning,mining,perf,data}``) this checker
+forbids:
+
+* the legacy NumPy module-level RNG — any ``np.random.<fn>()`` call
+  other than the ``default_rng`` / ``SeedSequence`` / ``Generator``
+  constructors (``np.random.rand``, ``np.random.seed``, ... all share
+  hidden global state);
+* ``np.random.default_rng()`` **without a seed argument** — an unseeded
+  generator is fresh entropy per call; seeding must flow through
+  :mod:`repro.data.sampling` (``repeat_rng``), which is on the
+  checker's allow list;
+* the stdlib :mod:`random` module entirely (its global Mersenne
+  twister is per-process state and its streams are not
+  ``SeedSequence``-splittable).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analyze.driver import Checker, FileContext
+
+__all__ = ["DeterminismChecker"]
+
+#: numpy.random attributes that are *not* the hidden-global-state RNG.
+_SEEDABLE = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    description = ("global or unseeded RNG in the deterministic "
+                   "pipeline packages")
+    interests = (ast.Call, ast.Import, ast.ImportFrom)
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    ctx.report(
+                        self, node,
+                        "stdlib 'random' imported in a deterministic "
+                        "package; draw from a seeded numpy Generator "
+                        "via repro.data.sampling instead",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if not node.level and node.module and (
+                    node.module.split(".")[0] == "random"):
+                ctx.report(
+                    self, node,
+                    "stdlib 'random' imported in a deterministic "
+                    "package; draw from a seeded numpy Generator via "
+                    "repro.data.sampling instead",
+                )
+            return
+        resolved = ctx.imports.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved.startswith("random."):
+            ctx.report(
+                self, node,
+                f"stdlib RNG call {resolved}(); deterministic packages "
+                "must use a seeded numpy Generator",
+            )
+            return
+        if not resolved.startswith("numpy.random."):
+            return
+        tail = resolved.split(".")[-1]
+        if tail not in _SEEDABLE:
+            ctx.report(
+                self, node,
+                f"legacy numpy global-state RNG {resolved}(); "
+                "construct a seeded Generator "
+                "(repro.data.sampling.repeat_rng) instead",
+            )
+        elif tail == "default_rng" and not node.args and not node.keywords:
+            ctx.report(
+                self, node,
+                "np.random.default_rng() without a seed draws fresh OS "
+                "entropy per call; pass a seed (seeding flows through "
+                "repro.data.sampling)",
+            )

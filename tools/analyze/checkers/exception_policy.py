@@ -1,0 +1,156 @@
+"""``exception-policy``: no swallowed errors, library error types at
+the edges.
+
+Three rules:
+
+1. **No bare ``except:``** anywhere in the configured roots — it
+   catches ``KeyboardInterrupt`` and ``SystemExit`` and hides every
+   programming error.
+2. **No silently swallowed broad catches**: an ``except Exception`` /
+   ``except BaseException`` handler must either re-raise or record the
+   error (a ``logger.exception(...)``-style call); a handler whose body
+   is only ``pass``/``...`` — or that handles without logging — is a
+   finding.  A deliberate boundary can be waived with
+   ``# arcs-analyze: ignore[exception-policy]``.
+3. **Public entry points raise library error types**: inside the
+   ``raise-roots`` (the CLI surface and ``repro.serve``), a *public*
+   function may not ``raise`` a builtin exception directly — callers
+   should be able to catch the library's own error types
+   (``PersistenceError``, ``ServiceError``, ``ModelNotFoundError``,
+   ...), which may *subclass* builtins for compatibility.  The
+   ``allow-raises`` option lists tolerated builtins (``SystemExit`` for
+   CLI exits by default).  Functions whose name starts with a single
+   underscore are internal and exempt; dunder methods are API.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+from tools.analyze.driver import Checker, FileContext
+
+__all__ = ["ExceptionPolicyChecker"]
+
+#: Every builtin exception name (the things a library may not raise raw
+#: from its public edges).
+_BUILTIN_EXCEPTIONS = frozenset(
+    name for name, value in vars(builtins).items()
+    if isinstance(value, type) and issubclass(value, BaseException)
+)
+
+_DEFAULT_ALLOW_RAISES = ("SystemExit", "KeyboardInterrupt",
+                         "NotImplementedError", "StopIteration")
+
+_LOG_METHODS = {"exception", "error", "warning", "critical", "log"}
+
+
+def _is_public(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return True  # dunder methods are API surface
+    return not name.startswith("_")
+
+
+def _is_broad(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return True
+    if isinstance(annotation, ast.Tuple):
+        return any(_is_broad(element) for element in annotation.elts)
+    return (isinstance(annotation, ast.Name)
+            and annotation.id in ("Exception", "BaseException"))
+
+
+def _handles_properly(handler: ast.ExceptHandler) -> bool:
+    """A broad handler is acceptable if it re-raises or logs the error."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _LOG_METHODS):
+            return True
+    return False
+
+
+class ExceptionPolicyChecker(Checker):
+    name = "exception-policy"
+    description = ("bare/swallowed excepts; builtin exceptions raised "
+                   "from public entry points")
+    interests = (ast.ExceptHandler, ast.Raise)
+
+    def __init__(self, config, analysis):
+        super().__init__(config, analysis)
+        self.raise_roots = tuple(
+            config.options.get("raise-roots", ())
+        )
+        self.allow_raises = frozenset(
+            config.options.get("allow-raises", _DEFAULT_ALLOW_RAISES)
+        )
+
+    def _in_raise_roots(self, rel: str) -> bool:
+        for prefix in self.raise_roots:
+            clean = prefix.rstrip("/")
+            if rel == clean or rel.startswith(clean + "/"):
+                return True
+        return False
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        if isinstance(node, ast.ExceptHandler):
+            self._check_handler(ctx, node)
+        elif isinstance(node, ast.Raise):
+            self._check_raise(ctx, node)
+
+    # ------------------------------------------------------------------
+    def _check_handler(self, ctx: FileContext,
+                       node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            ctx.report(
+                self, node,
+                "bare 'except:' catches SystemExit and "
+                "KeyboardInterrupt; name the exceptions (or at minimum "
+                "'except Exception')",
+            )
+            return
+        if not _is_broad(node.type):
+            return
+        body_is_noop = all(
+            isinstance(stmt, ast.Pass)
+            or (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis)
+            for stmt in node.body
+        )
+        if body_is_noop:
+            ctx.report(
+                self, node,
+                "'except Exception: pass' silently swallows every "
+                "error; narrow the exception types or handle the error",
+            )
+        elif not _handles_properly(node):
+            ctx.report(
+                self, node,
+                "broad 'except Exception' that neither re-raises nor "
+                "logs; narrow it to the exceptions this code can "
+                "actually handle",
+            )
+
+    # ------------------------------------------------------------------
+    def _check_raise(self, ctx: FileContext, node: ast.Raise) -> None:
+        if not self._in_raise_roots(ctx.rel):
+            return
+        function = ctx.enclosing_function()
+        if function is not None and not _is_public(function.name):
+            return
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if not isinstance(exc, ast.Name):
+            return  # re-raise, or an attribute like errors.XError
+        name = exc.id
+        if name in _BUILTIN_EXCEPTIONS and name not in self.allow_raises:
+            ctx.report(
+                self, node,
+                f"public entry point raises builtin {name}; raise a "
+                "library error type instead (subclassing the builtin "
+                "keeps existing callers working)",
+            )

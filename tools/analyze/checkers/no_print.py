@@ -1,0 +1,35 @@
+"""``no-print``: no bare ``print()`` outside the designated emitters.
+
+The library communicates through logging (module loggers, NullHandler
+on the package root) and return values; printing belongs to the
+designated emitters only — the CLI surface, the ASCII renderers and the
+standalone benchmark tools, all listed in the checker's ``allow``
+prefixes in ``pyproject.toml``.  Walking the AST (rather than grepping)
+avoids false positives on docstring examples.
+
+Ported from the retired ``tools/lint_no_print.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analyze.driver import Checker, FileContext
+
+__all__ = ["NoPrintChecker"]
+
+
+class NoPrintChecker(Checker):
+    name = "no-print"
+    description = ("bare print() outside the designated emitters "
+                   "(use logging)")
+    interests = (ast.Call,)
+
+    def visit(self, ctx: FileContext, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(
+                self, node,
+                "bare print() call outside the designated emitters; "
+                "use a module logger (or add the file to the checker's "
+                "allow list if it is a new emitter)",
+            )

@@ -1,0 +1,42 @@
+"""``no-wall-time``: no ``time.time()`` in library or benchmark code.
+
+Durations measured with the wall clock jump with NTP slews and DST and
+make perf numbers irreproducible; all timings must use the monotonic
+``time.perf_counter()`` (what ``repro.obs`` is built on).  The only
+legitimate use of ``time.time()`` is an absolute *timestamp* for humans
+(e.g. a report's "generated at" field); waive those lines explicitly
+with a trailing ``# wall-clock: ok`` comment (the generic
+``# arcs-analyze: ignore[no-wall-time]`` works too).
+
+The import map catches every spelling — ``time.time()``,
+``import time as t; t.time()`` and ``from time import time; time()``.
+Ported from the retired ``tools/lint_no_wall_time.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analyze.driver import Checker, FileContext
+
+__all__ = ["NoWallTimeChecker"]
+
+WAIVER = "# wall-clock: ok"
+
+
+class NoWallTimeChecker(Checker):
+    name = "no-wall-time"
+    description = ("wall-clock timing calls (time.time()); durations "
+                   "must use time.perf_counter()")
+    interests = (ast.Call,)
+
+    def visit(self, ctx: FileContext, node: ast.Call) -> None:
+        if ctx.imports.resolve(node.func) != "time.time":
+            return
+        if WAIVER in ctx.line_text(node.lineno):
+            return
+        ctx.report(
+            self, node,
+            "time.time() call; use time.perf_counter() for durations, "
+            f"or waive a genuine timestamp with '{WAIVER}'",
+        )

@@ -1,0 +1,226 @@
+"""Configuration for ``arcs-analyze``: the ``[tool.arcs-analyze]`` table.
+
+Checkers are configured in ``pyproject.toml``::
+
+    [tool.arcs-analyze]
+    roots = ["src/repro", "benchmarks"]        # default scan roots
+
+    [tool.arcs-analyze.no-print]
+    allow = ["src/repro/cli.py", "src/repro/viz/"]
+
+    [tool.arcs-analyze.determinism]
+    roots = ["src/repro/core", "src/repro/data"]
+
+Each checker subtable accepts:
+
+* ``roots`` — path prefixes (repo-relative, POSIX) the checker scans;
+  defaults to the global ``roots``;
+* ``allow`` — path prefixes exempt from the checker (a file matches if
+  its repo-relative path equals the entry or starts with it);
+* ``enabled`` — ``false`` disables the checker entirely;
+* any further keys — checker-specific options, passed through verbatim
+  (e.g. ``catalogue`` for ``obs-catalogue``).
+
+Parsing uses :mod:`tomllib` when available (Python >= 3.11) and falls
+back to a small TOML-subset reader good enough for this repository's
+``pyproject.toml`` (tables, strings, booleans, numbers and string
+arrays) so the analyzer also runs on Python 3.10 without third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None
+
+__all__ = ["AnalyzeConfig", "CheckerConfig", "load_config"]
+
+SECTION = "arcs-analyze"
+
+
+@dataclass
+class CheckerConfig:
+    """Resolved per-checker settings (roots/allow plus free options)."""
+
+    name: str
+    roots: tuple[str, ...]
+    allow: tuple[str, ...] = ()
+    enabled: bool = True
+    options: dict = field(default_factory=dict)
+
+    def wants(self, rel: str) -> bool:
+        """Whether the checker scans the repo-relative path ``rel``."""
+        if not _under_any(rel, self.roots):
+            return False
+        return not _under_any(rel, self.allow)
+
+
+@dataclass
+class AnalyzeConfig:
+    """The whole ``[tool.arcs-analyze]`` table, resolved."""
+
+    repo_root: Path
+    roots: tuple[str, ...]
+    checkers: dict[str, CheckerConfig] = field(default_factory=dict)
+
+    def checker(self, name: str) -> CheckerConfig:
+        """The named checker's config, defaulting to the global roots."""
+        config = self.checkers.get(name)
+        if config is None:
+            config = CheckerConfig(name=name, roots=self.roots)
+            self.checkers[name] = config
+        return config
+
+
+def _under_any(rel: str, prefixes: tuple[str, ...]) -> bool:
+    for prefix in prefixes:
+        clean = prefix.rstrip("/")
+        if rel == clean or rel.startswith(clean + "/"):
+            return True
+    return False
+
+
+def load_config(repo_root: str | Path,
+                pyproject: str | Path | None = None) -> AnalyzeConfig:
+    """Load ``[tool.arcs-analyze]`` from the repo's ``pyproject.toml``."""
+    repo_root = Path(repo_root).resolve()
+    path = Path(pyproject) if pyproject else repo_root / "pyproject.toml"
+    table: dict = {}
+    if path.is_file():
+        payload = _parse_toml(path.read_text())
+        table = payload.get("tool", {}).get(SECTION, {})
+    roots = tuple(table.get("roots", ("src", "benchmarks", "tools")))
+    config = AnalyzeConfig(repo_root=repo_root, roots=roots)
+    for key, value in table.items():
+        if not isinstance(value, dict):
+            continue
+        options = dict(value)
+        config.checkers[key] = CheckerConfig(
+            name=key,
+            roots=tuple(options.pop("roots", roots)),
+            allow=tuple(options.pop("allow", ())),
+            enabled=bool(options.pop("enabled", True)),
+            options=options,
+        )
+    return config
+
+
+# ----------------------------------------------------------------------
+# TOML parsing (stdlib on 3.11+, subset fallback below)
+# ----------------------------------------------------------------------
+def _parse_toml(text: str) -> dict:
+    if tomllib is not None:
+        return tomllib.loads(text)
+    return _parse_toml_subset(text)
+
+
+def _parse_toml_subset(text: str) -> dict:
+    """A TOML-subset reader for Python 3.10 (no ``tomllib``).
+
+    Supports ``[dotted.table]`` headers, string / bool / number scalars
+    and (possibly multiline) arrays of strings — the subset this
+    repository's ``pyproject.toml`` uses.  Unparseable values are kept
+    as raw strings, which is safe because the analyzer only consumes
+    the ``tool.arcs-analyze`` tables.
+    """
+    root: dict = {}
+    current = root
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = _strip_comment(lines[index])
+        index += 1
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = root
+            for part in _split_keys(line[1:-1]):
+                current = current.setdefault(part, {})
+            continue
+        if "=" not in line:
+            continue
+        key, _, raw = line.partition("=")
+        raw = raw.strip()
+        # Multiline arrays: accumulate until the brackets balance.
+        while raw.startswith("[") and raw.count("[") > raw.count("]"):
+            if index >= len(lines):
+                break
+            raw += " " + _strip_comment(lines[index])
+            index += 1
+        current[_unquote(key.strip())] = _parse_value(raw)
+    return root
+
+
+def _strip_comment(line: str) -> str:
+    out: list[str] = []
+    quote: str | None = None
+    for char in line:
+        if quote:
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char == "#":
+            break
+        out.append(char)
+    return "".join(out).strip()
+
+
+def _split_keys(dotted: str) -> list[str]:
+    return [_unquote(part.strip()) for part in dotted.split(".")]
+
+
+def _unquote(token: str) -> str:
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "\"'":
+        return token[1:-1]
+    return token
+
+
+def _parse_value(raw: str):
+    if raw.startswith("[") and raw.endswith("]"):
+        inner = raw[1:-1].strip().rstrip(",")
+        if not inner:
+            return []
+        return [_parse_value(part.strip())
+                for part in _split_array(inner)]
+    if raw in ("true", "false"):
+        return raw == "true"
+    if (raw.startswith('"') and raw.endswith('"')) or (
+            raw.startswith("'") and raw.endswith("'")):
+        return raw[1:-1]
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw  # inline tables etc.: raw string, unused by us
+
+
+def _split_array(inner: str) -> list[str]:
+    parts: list[str] = []
+    quote: str | None = None
+    current: list[str] = []
+    for char in inner:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+            current.append(char)
+        elif char == ",":
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts

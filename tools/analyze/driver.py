@@ -1,0 +1,400 @@
+"""The shared visitor driver behind ``arcs-analyze``.
+
+Every enabled checker declares the AST node types it is interested in
+(:attr:`Checker.interests`); the driver parses each file **once**,
+walks the tree **once** and dispatches each node to the checkers that
+asked for its type, carrying the ancestor stack so checkers can ask
+"am I inside a ``with self._lock:``?" without re-walking.  Cross-file
+checkers accumulate state during the walk and report from
+:meth:`Checker.finalize` once every file has been seen.
+
+Suppression: a finding whose source line carries an
+``# arcs-analyze: ignore`` comment is dropped; the targeted form
+``# arcs-analyze: ignore[checker-a, checker-b]`` drops only the listed
+checkers' findings.  Checkers may additionally honour their own waiver
+comments (``no-wall-time`` keeps the historical ``# wall-clock: ok``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.analyze.config import AnalyzeConfig, CheckerConfig
+
+__all__ = [
+    "Analysis",
+    "AnalysisResult",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "ImportMap",
+]
+
+_IGNORE_RE = re.compile(
+    r"#\s*arcs-analyze:\s*ignore(?:\[(?P<names>[^\]]*)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violated at a source location."""
+
+    path: str       # repo-relative, POSIX separators
+    line: int
+    col: int
+    checker: str
+    message: str
+    fixable: bool = False
+
+    def render(self) -> str:
+        tail = "  [fixable: run with --fix]" if self.fixable else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"[{self.checker}] {self.message}{tail}")
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "checker": self.checker,
+            "message": self.message,
+            "fixable": self.fixable,
+        }
+
+
+class ImportMap:
+    """Per-file import aliases, resolved once and shared by checkers.
+
+    ``resolve(node)`` maps a call's ``func`` expression to a dotted name
+    in canonical module terms: with ``import numpy as np``,
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``;
+    with ``from repro.obs import metrics``, ``metrics.inc`` resolves to
+    ``repro.obs.metrics.inc``.  Names that are not rooted in an import
+    (locals, attributes of instances) resolve to ``None``.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.modules: dict[str, str] = {}      # local name -> module
+        self.from_names: dict[str, str] = {}   # local name -> dotted
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.modules[local] = (
+                        alias.name if alias.asname else
+                        alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative imports: out of scope here
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.from_names[local] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, func: ast.expr) -> str | None:
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        base = node.id
+        if base in self.from_names:
+            return ".".join([self.from_names[base], *parts])
+        if base in self.modules:
+            return ".".join([self.modules[base], *parts])
+        return None
+
+
+class FileContext:
+    """Everything checkers may want to know about the file being walked."""
+
+    def __init__(self, path: Path, rel: str, source: str, tree: ast.AST):
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.imports = ImportMap(tree)
+        #: Ancestors of the node being visited, outermost first.
+        self.stack: list[ast.AST] = []
+        self.findings: list[Finding] = []
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def enclosing_function(self) -> ast.AST | None:
+        """The innermost enclosing function definition, if any."""
+        for node in reversed(self.stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    def report(self, checker: "Checker", node: ast.AST, message: str,
+               fixable: bool = False) -> None:
+        self.findings.append(Finding(
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            checker=checker.name,
+            message=message,
+            fixable=fixable,
+        ))
+
+
+class Checker:
+    """Base class for one analysis pass (a plugin).
+
+    Subclasses set :attr:`name`, :attr:`description` and
+    :attr:`interests`, then implement :meth:`visit`.  Cross-file
+    checkers override :meth:`finalize` (and :meth:`apply_fix` when the
+    findings are mechanically fixable).
+    """
+
+    name: str = ""
+    description: str = ""
+    #: AST node classes this checker wants dispatched to :meth:`visit`.
+    interests: tuple[type, ...] = ()
+
+    def __init__(self, config: CheckerConfig, analysis: "Analysis"):
+        self.config = config
+        self.analysis = analysis
+
+    # -- per-file hooks -------------------------------------------------
+    def wants(self, rel: str) -> bool:
+        return self.config.wants(rel)
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Called before the walk of one file."""
+
+    def visit(self, ctx: FileContext, node: ast.AST) -> None:
+        """Called for every node matching :attr:`interests`."""
+
+    def end_file(self, ctx: FileContext) -> None:
+        """Called after the walk of one file."""
+
+    # -- whole-run hooks ------------------------------------------------
+    def finalize(self, result: "AnalysisResult") -> None:
+        """Called once after every file; cross-file findings go here."""
+
+    def apply_fix(self, result: "AnalysisResult") -> list[str]:
+        """Rewrite files to resolve this checker's fixable findings.
+
+        Returns the repo-relative paths that were modified.
+        """
+        return []
+
+
+@dataclass
+class AnalysisResult:
+    """The outcome of one analyzer run."""
+
+    repo_root: Path
+    checkers: list[str]
+    files_scanned: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    #: Whether every configured root was scanned (False when the caller
+    #: passed an explicit file subset, e.g. pre-commit's changed files).
+    complete: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "arcs-analyze-report",
+            "version": 1,
+            "checkers": list(self.checkers),
+            "files_scanned": len(self.files_scanned),
+            "complete": self.complete,
+            "status": "pass" if self.ok else "fail",
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def render(self) -> str:
+        if self.ok:
+            scanned = len(self.files_scanned)
+            names = ", ".join(self.checkers)
+            return (f"arcs-analyze: {scanned} file(s) clean "
+                    f"({names})")
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"arcs-analyze: {len(self.findings)} finding(s) in "
+            f"{len(self.files_scanned)} file(s)"
+        )
+        return "\n".join(lines)
+
+
+class Analysis:
+    """One configured analyzer run over a set of files."""
+
+    def __init__(self, config: AnalyzeConfig,
+                 checker_classes: list[type[Checker]]):
+        self.config = config
+        self.checkers: list[Checker] = []
+        for cls in checker_classes:
+            checker_config = config.checker(cls.name)
+            if checker_config.enabled:
+                self.checkers.append(cls(checker_config, self))
+
+    # ------------------------------------------------------------------
+    # File selection
+    # ------------------------------------------------------------------
+    def _relativize(self, path: Path) -> str | None:
+        try:
+            return path.resolve().relative_to(
+                self.config.repo_root
+            ).as_posix()
+        except ValueError:
+            return None
+
+    def _all_files(self) -> list[str]:
+        roots: set[str] = set()
+        for checker in self.checkers:
+            roots.update(checker.config.roots)
+        seen: set[str] = set()
+        for root in sorted(roots):
+            base = self.config.repo_root / root
+            if base.is_file():
+                seen.add(base.relative_to(
+                    self.config.repo_root).as_posix())
+            elif base.is_dir():
+                for path in base.rglob("*.py"):
+                    seen.add(path.relative_to(
+                        self.config.repo_root).as_posix())
+        return sorted(seen)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, paths: list[str | Path] | None = None) -> AnalysisResult:
+        result = AnalysisResult(
+            repo_root=self.config.repo_root,
+            checkers=[checker.name for checker in self.checkers],
+            complete=paths is None,
+        )
+        if paths is None:
+            rels = self._all_files()
+        else:
+            rels = []
+            for entry in paths:
+                rel = self._relativize(Path(entry))
+                if rel is not None and rel.endswith(".py"):
+                    rels.append(rel)
+            rels = sorted(set(rels))
+        suppressed: dict[str, list[str]] = {}
+        for rel in rels:
+            interested = [c for c in self.checkers if c.wants(rel)]
+            if not interested:
+                continue
+            result.files_scanned.append(rel)
+            findings = self._scan_file(rel, interested, suppressed)
+            result.findings.extend(findings)
+        for checker in self.checkers:
+            before = len(result.findings)
+            checker.finalize(result)
+            result.findings[before:] = self._filter_suppressed(
+                result.findings[before:], suppressed
+            )
+        result.findings.sort()
+        return result
+
+    def _scan_file(self, rel: str, checkers: list[Checker],
+                   suppressed: dict[str, list[str]]) -> list[Finding]:
+        path = self.config.repo_root / rel
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            return [Finding(
+                path=rel, line=error.lineno or 1,
+                col=(error.offset or 0) or 1,
+                checker="parse",
+                message=f"file does not parse: {error.msg}",
+            )]
+        ctx = FileContext(path, rel, source, tree)
+        suppressed[rel] = ctx.lines
+        for checker in checkers:
+            checker.begin_file(ctx)
+        self._walk(ctx, tree, checkers)
+        for checker in checkers:
+            checker.end_file(ctx)
+        return self._filter_suppressed(ctx.findings, suppressed)
+
+    def _walk(self, ctx: FileContext, tree: ast.AST,
+              checkers: list[Checker]) -> None:
+        dispatch: list[tuple[Checker, tuple[type, ...]]] = [
+            (checker, checker.interests)
+            for checker in checkers if checker.interests
+        ]
+
+        def recurse(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                for checker, interests in dispatch:
+                    if isinstance(child, interests):
+                        checker.visit(ctx, child)
+                ctx.stack.append(child)
+                recurse(child)
+                ctx.stack.pop()
+
+        recurse(tree)
+
+    # ------------------------------------------------------------------
+    # Suppression
+    # ------------------------------------------------------------------
+    def _filter_suppressed(
+            self, findings: list[Finding],
+            suppressed: dict[str, list[str]]) -> list[Finding]:
+        kept = []
+        for finding in findings:
+            lines = suppressed.get(finding.path)
+            if lines is None:
+                lines = self._load_lines(finding.path)
+                suppressed[finding.path] = lines
+            line = (lines[finding.line - 1]
+                    if 1 <= finding.line <= len(lines) else "")
+            if not _suppresses(line, finding.checker):
+                kept.append(finding)
+        return kept
+
+    def _load_lines(self, rel: str) -> list[str]:
+        path = self.config.repo_root / rel
+        try:
+            return path.read_text().splitlines()
+        except OSError:
+            return []
+
+    # ------------------------------------------------------------------
+    # Fixing
+    # ------------------------------------------------------------------
+    def fix(self, result: AnalysisResult) -> list[str]:
+        """Apply every checker's fixes; returns modified rel paths."""
+        changed: list[str] = []
+        for checker in self.checkers:
+            changed.extend(checker.apply_fix(result))
+        return changed
+
+
+def _suppresses(line: str, checker: str) -> bool:
+    match = _IGNORE_RE.search(line)
+    if not match:
+        return False
+    names = match.group("names")
+    if names is None:
+        return True
+    wanted = {name.strip() for name in names.split(",") if name.strip()}
+    return checker in wanted
