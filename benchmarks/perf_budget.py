@@ -3,10 +3,16 @@
 
 Times each vectorised kernel against its scalar reference implementation
 (:mod:`repro.perf.reference`) on fixed synthetic inputs, writes the
-measurements to ``BENCH_hotpaths.json``, and compares the speedups
-against the checked-in budgets in ``benchmarks/perf_budgets.json``.
-A kernel that regresses below its budgeted speedup (minus the noise
-tolerance) fails the run — this is the CI perf gate.
+measurements to ``BENCH_hotpaths.json`` at the repo root, and compares
+the speedups against the checked-in budgets in
+``benchmarks/perf_budgets.json``.  A kernel that regresses below its
+budgeted speedup (minus the noise tolerance) fails the run — this is
+the CI perf gate.
+
+The report is written even when a benchmark crashes mid-run: the
+partial report carries ``"status": "error"`` plus the failure text, so
+a perf *trajectory* (one report per commit) never silently loses a
+point — CI additionally fails loudly when the file is missing.
 
 Budgets are *speedup ratios*, not wall-clock seconds: both sides of each
 ratio run in the same process on the same machine, so the gate holds on
@@ -55,7 +61,9 @@ from repro.perf import reference  # noqa: E402
 from repro.serve.scorer import compile_scorer  # noqa: E402
 
 BUDGETS_PATH = Path(__file__).parent / "perf_budgets.json"
-DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_hotpaths.json"
+#: The report lands at the repo root so every tool (CI artifact upload,
+#: trajectory scripts, humans) finds it at one well-known path.
+DEFAULT_OUT = REPO_ROOT / "BENCH_hotpaths.json"
 
 #: (full, quick) problem sizes per benchmark.
 SIZES = {
@@ -283,7 +291,8 @@ def render(results: list[dict]) -> str:
 
 
 def write_report(path: Path, results: list[dict], mode: str,
-                 tolerance: float, status: str) -> None:
+                 tolerance: float, status: str,
+                 error: str | None = None) -> None:
     payload = {
         "format": "arcs-perf-report",
         "version": 1,
@@ -299,6 +308,8 @@ def write_report(path: Path, results: list[dict], mode: str,
         "status": status,
         "results": results,
     }
+    if error is not None:
+        payload["error"] = error
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -375,15 +386,24 @@ def main(argv: list[str] | None = None) -> int:
     sizes = _sizes(args.quick)
     names = args.only or list(BENCHMARKS)
 
+    mode = "quick" if args.quick else "full"
     results = []
-    for name in names:
-        result = BENCHMARKS[name](sizes[name], trials)
-        apply_budget(result, budgets.get(name), tolerance)
-        results.append(result)
+    try:
+        for name in names:
+            result = BENCHMARKS[name](sizes[name], trials)
+            apply_budget(result, budgets.get(name), tolerance)
+            results.append(result)
+    except BaseException as error:
+        # A crashing benchmark must still leave a report behind — the
+        # perf trajectory (one report per commit) treats a missing file
+        # as a broken run, and CI fails loudly on it.
+        write_report(args.out, results, mode, tolerance, "error",
+                     error=f"{type(error).__name__}: {error}")
+        print(f"benchmark crashed; partial report written to {args.out}")
+        raise
 
     failed = [r for r in results if r["status"] == "fail"]
     status = "fail" if failed else "pass"
-    mode = "quick" if args.quick else "full"
     print(f"perf-budget run ({mode} mode, tolerance {tolerance:.0%}):\n")
     print(render(results))
     write_report(args.out, results, mode, tolerance, status)

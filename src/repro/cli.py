@@ -26,7 +26,13 @@ Observability flags (``fit``, ``fit-all``, ``remine``, ``describe``,
 * ``--trace`` — collect a span tree + metrics for the run and print the
   ASCII summary after the command's normal output;
 * ``--metrics-out PATH`` — write the run's machine-readable
-  :class:`~repro.obs.report.RunReport` JSON to ``PATH``.
+  :class:`~repro.obs.report.RunReport` JSON to ``PATH``;
+* ``--trace-out PATH`` — export the run's span tree as Chrome
+  trace-event JSON (open in Perfetto / ``chrome://tracing``);
+* ``--events-out PATH`` — append structured JSONL events (one per run,
+  stage, and served request) to ``PATH``;
+* ``--profile-out PATH`` — run the stdlib sampling profiler for the
+  whole command and write collapsed (flamegraph) stacks to ``PATH``.
 """
 
 from __future__ import annotations
@@ -77,6 +83,21 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out", type=Path, default=None, metavar="PATH",
         help="write the machine-readable run report JSON to PATH",
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="PATH",
+        help="write the run's span tree as Chrome trace-event JSON "
+             "(loadable in Perfetto)",
+    )
+    parser.add_argument(
+        "--events-out", type=Path, default=None, metavar="PATH",
+        help="append structured JSONL events (runs, stages, requests) "
+             "to PATH",
+    )
+    parser.add_argument(
+        "--profile-out", type=Path, default=None, metavar="PATH",
+        help="sample the whole command and write collapsed flamegraph "
+             "stacks to PATH",
     )
 
 
@@ -242,16 +263,32 @@ def _configure_observability(args: argparse.Namespace) -> None:
             level=getattr(logging, level),
             format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
         )
-    metrics_out = getattr(args, "metrics_out", None)
-    if metrics_out is not None:
-        parent = Path(metrics_out).resolve().parent
-        if not parent.is_dir():
-            # Fail before the run, not after minutes of work.
-            raise SystemExit(
-                f"arcs: cannot write run report to {metrics_out}: "
-                f"directory {parent} does not exist"
-            )
-    if getattr(args, "trace", False) or metrics_out is not None:
+    for flag, description in (
+        ("metrics_out", "run report"),
+        ("trace_out", "trace export"),
+        ("events_out", "event log"),
+        ("profile_out", "profile"),
+    ):
+        target = getattr(args, flag, None)
+        if target is not None:
+            parent = Path(target).resolve().parent
+            if not parent.is_dir():
+                # Fail before the run, not after minutes of work.
+                raise SystemExit(
+                    f"arcs: cannot write {description} to {target}: "
+                    f"directory {parent} does not exist"
+                )
+    events_out = getattr(args, "events_out", None)
+    if events_out is not None:
+        from repro.obs import events
+
+        events.enable_events(events_out)
+    if (getattr(args, "trace", False)
+            or getattr(args, "metrics_out", None) is not None
+            or getattr(args, "trace_out", None) is not None
+            or events_out is not None):
+        # --events-out needs the span tree too: the run/stage events
+        # are derived from the finished RunReport.
         obs.enable()
 
 
@@ -266,6 +303,15 @@ def _emit_run_report(args: argparse.Namespace,
     if metrics_out is not None:
         report.write(metrics_out)
         print(f"run report written to {metrics_out}")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        if report.trace is None:
+            print(f"no span tree captured; {trace_out} not written")
+        else:
+            from repro.obs.trace_export import write_chrome_trace
+
+            write_chrome_trace(trace_out, report)
+            print(f"chrome trace written to {trace_out}")
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -532,15 +578,31 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.obs import events
+
     parser = _build_parser()
     args = parser.parse_args(argv)
     was_enabled = obs.enabled()
+    events_were_enabled = events.events_enabled()
     _configure_observability(args)
+    profile_out = getattr(args, "profile_out", None)
+    profiler = None
+    if profile_out is not None:
+        from repro.obs.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
     try:
         return _COMMANDS[args.command](args)
     finally:
+        if profiler is not None:
+            profiler.stop()
+            Path(profile_out).write_text(profiler.collapsed())
+            print(f"profile ({profiler.samples} samples) written to "
+                  f"{profile_out}")
         # Don't leak flag-driven enablement into embedding processes
         # (tests call main() in-process).
+        if not events_were_enabled and events.events_enabled():
+            events.disable_events()
         if not was_enabled and obs.enabled():
             obs.disable()
 

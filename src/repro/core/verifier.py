@@ -72,6 +72,28 @@ def count_repeat_errors(covered: np.ndarray, is_target: np.ndarray,
     return fp_counts.astype(np.int64), fn_counts.astype(np.int64)
 
 
+def _count_block_with_metrics(covered: np.ndarray, is_target: np.ndarray,
+                              sample_size: int, seed: int,
+                              repeat_ids: Sequence[int],
+                              ) -> tuple[np.ndarray, np.ndarray, dict]:
+    """Worker-side wrapper: counts plus a metrics snapshot.
+
+    A pool worker cannot see the parent's metrics registry, so it
+    records its share of the verifier counters on a local registry and
+    ships the snapshot home with the results; the parent merges it into
+    its own registry (:meth:`MetricsRegistry.merge_snapshot`), keeping
+    serial and parallel runs metric-identical.
+    """
+    registry = metrics.MetricsRegistry()
+    registry.inc("verifier.samples_drawn", len(repeat_ids))
+    registry.inc("verifier.tuples_sampled",
+                 len(repeat_ids) * sample_size)
+    fp_counts, fn_counts = count_repeat_errors(
+        covered, is_target, sample_size, seed, repeat_ids
+    )
+    return fp_counts, fn_counts, registry.snapshot()
+
+
 def target_mask(labels: np.ndarray, target_value) -> np.ndarray:
     """Boolean mask of rows whose label equals the target value.
 
@@ -178,15 +200,17 @@ class Verifier:
                     covered, is_target, self.sample_size, self.seed,
                     range(self.repeats),
                 )
+                metrics.inc("verifier.samples_drawn", self.repeats)
+                metrics.inc("verifier.tuples_sampled",
+                            self.repeats * self.sample_size)
             else:
+                # The workers record their share of the sampling
+                # counters; totals match the serial branch exactly.
                 fp_counts, fn_counts = self._count_parallel(
                     covered, is_target
                 )
             rates = (fp_counts + fn_counts) / float(self.sample_size)
             mean_rate, stderr = mean_and_stderr(rates)
-            metrics.inc("verifier.samples_drawn", self.repeats)
-            metrics.inc("verifier.tuples_sampled",
-                        self.repeats * self.sample_size)
             span.set("error_rate", mean_rate)
             logger.debug(
                 "verified %d rules on %d x %d samples: error %.4f",
@@ -216,17 +240,18 @@ class Verifier:
         blocks = np.array_split(np.arange(self.repeats), workers)
         fp_parts: list[np.ndarray] = []
         fn_parts: list[np.ndarray] = []
+        registry = metrics.active()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
-                    count_repeat_errors, covered, is_target,
+                    _count_block_with_metrics, covered, is_target,
                     self.sample_size, self.seed, block.tolist(),
                 )
                 for block in blocks
             ]
             for block, future in zip(blocks, futures):
                 try:
-                    fp_block, fn_block = future.result()
+                    fp_block, fn_block, snapshot = future.result()
                 except Exception as error:
                     raise RuntimeError(
                         f"parallel verification failed on repeats "
@@ -236,6 +261,8 @@ class Verifier:
                     ) from error
                 fp_parts.append(fp_block)
                 fn_parts.append(fn_block)
+                if registry is not None:
+                    registry.merge_snapshot(snapshot)
         metrics.inc("verifier.parallel_batches", len(blocks))
         return np.concatenate(fp_parts), np.concatenate(fn_parts)
 

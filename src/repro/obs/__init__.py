@@ -11,6 +11,18 @@ Three small, stdlib-only layers the rest of the codebase imports:
   produces a :class:`RunReport` (span tree + metrics snapshot + config
   fingerprint) that serializes to JSON and renders an ASCII summary.
 
+Layered on top of those three:
+
+* :mod:`repro.obs.prometheus` — renders any metrics snapshot in the
+  Prometheus text exposition format (and ships a tiny validating
+  parser for tests and smoke jobs);
+* :mod:`repro.obs.events` — structured JSONL event logs with
+  deterministic sampling and size-capped rotation;
+* :mod:`repro.obs.trace_export` — span trees as Chrome trace-event
+  JSON, loadable in Perfetto;
+* :mod:`repro.obs.profiler` — a stdlib sampling profiler emitting
+  collapsed (flamegraph) stacks.
+
 Everything is **disabled by default** and each instrumentation point
 degrades to a global read plus ``None``/branch check, so an
 uninstrumented process pays nothing measurable.  Turn collection on
@@ -28,27 +40,38 @@ or from the CLI with ``--trace`` / ``--metrics-out PATH``.
 
 from __future__ import annotations
 
-from repro.obs import metrics, tracing
+from repro.obs import events, metrics, tracing
+from repro.obs.events import EventSink
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.prometheus import parse_prometheus, render_prometheus
 from repro.obs.report import RunCapture, RunReport, config_fingerprint
 from repro.obs.timing import best_of, timed
+from repro.obs.trace_export import chrome_trace, write_chrome_trace
 from repro.obs.tracing import Span, current_span, trace
 
 __all__ = [
+    "EventSink",
     "MetricsRegistry",
     "RunCapture",
     "RunReport",
+    "SamplingProfiler",
     "Span",
     "best_of",
+    "chrome_trace",
     "config_fingerprint",
     "current_span",
     "disable",
     "enable",
     "enabled",
+    "events",
     "metrics",
+    "parse_prometheus",
+    "render_prometheus",
     "timed",
     "trace",
     "tracing",
+    "write_chrome_trace",
 ]
 
 

@@ -5,7 +5,9 @@ Instrumented code may only emit names declared here; the
 drift in either direction, and ``python -m tools.analyze --fix``
 regenerates this module (preserving descriptions) plus the metric
 table in ``docs/observability.md``.  Names containing ``{...}`` are
-templates matching one dotted-name segment (``serve.requests_{endpoint}``).
+templates matching one dotted-name segment (``serve.requests_{endpoint}``);
+names ending in ``{key,...}`` declare labeled series — the call site
+passes ``labels={...}`` with exactly those keys (``serve.request_seconds{endpoint}``).
 """
 
 from __future__ import annotations
@@ -41,6 +43,15 @@ METRICS: dict[str, tuple[str, str]] = {
     'engine.scans':
         ('counter',
          'rule-engine passes over the BinArray'),
+    'obs.events_emitted':
+        ('counter',
+         'events written to the JSONL event sink'),
+    'obs.events_sampled_out':
+        ('counter',
+         "events dropped by the sink's deterministic sampling"),
+    'obs.profile_samples':
+        ('counter',
+         'stacks collected by the sampling profiler'),
     'optimizer.trial_seconds':
         ('histogram',
          'wall-clock per optimizer trial'),
@@ -70,16 +81,22 @@ METRICS: dict[str, tuple[str, str]] = {
          'registry refreshes that changed the model set'),
     'serve.request_errors':
         ('counter',
-         'requests answered with a 4xx/5xx status'),
+         'requests answered with a 4xx/5xx status (deprecated unlabeled twin of `serve.request_errors{endpoint}`)'),
+    'serve.request_errors{endpoint}':
+        ('counter',
+         'requests answered with a 4xx/5xx status, labeled by endpoint'),
     'serve.request_seconds':
         ('histogram',
-         'wall-clock per request'),
+         'wall-clock per request (deprecated unlabeled twin of `serve.request_seconds{endpoint}`)'),
+    'serve.request_seconds{endpoint}':
+        ('histogram',
+         'wall-clock per request, labeled by endpoint'),
     'serve.requests':
         ('counter',
          'HTTP requests dispatched (all endpoints)'),
     'serve.requests_{endpoint}':
         ('counter',
-         'requests per endpoint (`predict`, `predict_batch`, `explain`, `models`, `healthz`, `metrics`)'),
+         'requests per endpoint (`predict`, `predict_batch`, `explain`, `models`, `healthz`, `metrics`, `profile`)'),
     'serve.scorer_cache_hits':
         ('counter',
          '`compile_scorer` LRU cache hits'),

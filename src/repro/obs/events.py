@@ -1,0 +1,201 @@
+"""Structured JSONL event logs: one machine-readable line per event.
+
+Where metrics aggregate and spans time, **events** record the
+individual occurrences an operator wants to tail or load into an
+analysis tool: one access-log event per served request, one stage event
+per pipeline span.  Each event is a single JSON object on its own line
+(JSONL), so ``tail -f``, ``jq`` and log shippers all work unmodified::
+
+    {"ts": 1754380800.123, "type": "request", "endpoint": "predict",
+     "status": 200, "seconds": 0.0004}
+
+:class:`EventSink` owns one output file with two safety valves for
+long-lived serving processes:
+
+* **sampling** — ``sample_every=N`` keeps every N-th event *per event
+  type* (deterministic counter-based sampling: no RNG, so two runs of
+  the same workload log the same lines); dropped events bump the
+  ``obs.events_sampled_out`` counter so the loss is visible;
+* **size-capped rotation** — when the file would exceed ``max_bytes``
+  it is rotated to ``<path>.1`` (shifting older generations up to
+  ``backups``), so an unattended server cannot fill the disk.
+
+Like the rest of :mod:`repro.obs`, the module-level :func:`emit` is a
+no-op (one global read) until :func:`enable_events` installs a sink —
+the CLI does this for ``--events-out PATH`` on ``fit``/``serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from pathlib import Path
+
+from repro.obs import metrics
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "EventSink",
+    "enable_events",
+    "disable_events",
+    "events_enabled",
+    "active_sink",
+    "emit",
+]
+
+#: Default rotation threshold: 16 MiB per generation.
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+
+class EventSink:
+    """A thread-safe, size-capped, sampling JSONL event writer."""
+
+    def __init__(self, path: str | Path, sample_every: int = 1,
+                 max_bytes: int = DEFAULT_MAX_BYTES, backups: int = 1):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if max_bytes < 1024:
+            raise ValueError("max_bytes must be at least 1 KiB")
+        if backups < 0:
+            raise ValueError("backups cannot be negative")
+        self.path = Path(path)
+        self.sample_every = sample_every
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self._seen: dict[str, int] = {}
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = self.path.stat().st_size
+        self.emitted = 0
+        self.sampled_out = 0
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, event_type: str, **fields) -> bool:
+        """Write one event; returns ``False`` when sampled out.
+
+        ``ts`` (wall-clock seconds, for correlating with external logs)
+        and ``type`` are added automatically; remaining fields must be
+        JSON-serializable (non-serializable values are stringified).
+        """
+        with self._lock:
+            seen = self._seen.get(event_type, 0)
+            self._seen[event_type] = seen + 1
+            if seen % self.sample_every:
+                self.sampled_out += 1
+                metrics.inc("obs.events_sampled_out")
+                return False
+            payload = {
+                "ts": time.time(),  # wall-clock: ok (log timestamp)
+                "type": event_type,
+            }
+            payload.update(fields)
+            line = json.dumps(payload, default=str,
+                              separators=(",", ":")) + "\n"
+            if self._size + len(line) > self.max_bytes:
+                self._rotate()
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += len(line)
+            self.emitted += 1
+            metrics.inc("obs.events_emitted")
+            return True
+
+    def _rotate(self) -> None:
+        """Shift generations: ``path`` → ``path.1`` → ``path.2`` ..."""
+        self._handle.close()
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(
+                f"{self.path.name}.{self.backups}"
+            )
+            oldest.unlink(missing_ok=True)
+            for generation in range(self.backups - 1, 0, -1):
+                source = self.path.with_name(
+                    f"{self.path.name}.{generation}"
+                )
+                if source.exists():
+                    source.rename(self.path.with_name(
+                        f"{self.path.name}.{generation + 1}"
+                    ))
+            if self.path.exists():
+                self.path.rename(
+                    self.path.with_name(f"{self.path.name}.1")
+                )
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+        logger.debug("rotated event log %s", self.path)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    # Context-manager sugar for scoped use in tests and scripts.
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+#: The active sink; ``None`` means event logging is disabled and
+#: :func:`emit` is a no-op.
+_active: EventSink | None = None
+
+
+def enable_events(sink: EventSink | str | Path, **kwargs) -> EventSink:
+    """Install (and return) the process-global event sink.
+
+    Accepts a ready :class:`EventSink` or a path (plus ``EventSink``
+    keyword arguments).  An already-installed sink is closed first.
+    """
+    global _active
+    if not isinstance(sink, EventSink):
+        sink = EventSink(sink, **kwargs)
+    if _active is not None and _active is not sink:
+        _active.close()
+    _active = sink
+    return sink
+
+
+def disable_events() -> None:
+    """Close and uninstall the active sink; :func:`emit` no-ops again."""
+    global _active
+    if _active is not None:
+        _active.close()
+    _active = None
+
+
+def events_enabled() -> bool:
+    """Whether an event sink is installed."""
+    return _active is not None
+
+
+def active_sink() -> EventSink | None:
+    """The currently installed sink, or ``None`` when disabled."""
+    return _active
+
+
+def emit(event_type: str, **fields) -> bool:
+    """Emit one event on the active sink, if any.
+
+    Never raises on I/O problems: a failing disk should degrade
+    observability, not take the serving path down with it.
+    """
+    sink = _active
+    if sink is None:
+        return False
+    try:
+        return sink.emit(event_type, **fields)
+    except OSError:
+        logger.exception("event sink write failed; event dropped")
+        return False

@@ -6,8 +6,16 @@ named instruments (see ``docs/observability.md`` for the catalogue):
 * **counters** — monotonically increasing totals
   (``binner.tuples_binned``, ``optimizer.trials``);
 * **gauges** — last-written values (``binner.occupancy_fraction``);
-* **histograms** — count/total/min/max summaries of a value stream
-  (``optimizer.trial_seconds``).
+* **histograms** — count/total/min/max summaries of a value stream plus
+  fixed cumulative buckets, so p50/p95/p99 can be estimated
+  (``serve.request_seconds``).
+
+Instruments may carry **labels** — a small ``{key: value}`` mapping that
+splits one logical metric into independent series, Prometheus-style
+(``serve.request_seconds{endpoint="predict"}``).  Each distinct label
+combination is its own instrument; snapshots flatten the series into
+``name{key="value",...}`` keys (sorted by label key, values escaped), a
+format :func:`parse_series_key` round-trips.
 
 Metrics are **off by default**.  Instrumented code calls the module
 helpers :func:`inc`, :func:`set_gauge` and :func:`observe`, which are a
@@ -16,7 +24,9 @@ leave in hot paths.  :func:`enable` installs a process-global
 :class:`MetricsRegistry`; the capture layer temporarily swaps in a fresh
 per-run registry so a :class:`~repro.obs.report.RunReport` contains
 exactly one run's numbers, then merges them back so process totals keep
-accumulating.
+accumulating.  :meth:`MetricsRegistry.merge_snapshot` absorbs a
+snapshot produced in *another process* (the parallel verifier's workers
+ship their per-block snapshots back over the pool).
 
 The registry is guarded by a lock (instrument creation and snapshot);
 individual updates rely on the GIL like every mainstream Python metrics
@@ -25,10 +35,13 @@ client, which is sufficient for ``+=`` on ints/floats.
 
 from __future__ import annotations
 
+import re
 import threading
+from bisect import bisect_left
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -40,16 +53,70 @@ __all__ = [
     "inc",
     "set_gauge",
     "observe",
+    "parse_series_key",
+    "series_key",
 ]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, the
+#: Prometheus client default); an implicit +Inf bucket is always last.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _unescape_label(value: str) -> str:
+    return (value.replace(r"\n", "\n").replace(r"\"", '"')
+            .replace(r"\\", "\\"))
+
+
+def series_key(name: str, labels: dict | None = None) -> str:
+    """The flattened ``name{key="value",...}`` snapshot key of a series.
+
+    Labels are sorted by key and values escaped, so equal label sets
+    always produce the same key; a label-less series is just ``name``.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+_SERIES_RE = re.compile(r"\A(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?\Z")
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)='
+                       r'"(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a flattened snapshot key back into ``(name, labels)``."""
+    match = _SERIES_RE.match(key)
+    if match is None:
+        return key, {}
+    raw = match.group("labels")
+    if raw is None:
+        return match.group("name"), {}
+    labels = {
+        found.group("key"): _unescape_label(found.group("value"))
+        for found in _LABEL_RE.finditer(raw)
+    }
+    return match.group("name"), labels
 
 
 class Counter:
     """A monotonically increasing total."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.value = 0
 
     def inc(self, amount: int | float = 1) -> None:
@@ -61,10 +128,11 @@ class Counter:
 class Gauge:
     """A last-value-wins measurement."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -72,16 +140,33 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming count/total/min/max summary of observed values."""
+    """A streaming summary of observed values with fixed buckets.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    Alongside count/total/min/max, every observation lands in one of the
+    fixed buckets (``value <= bound``, implicit +Inf last), which is
+    enough to estimate quantiles by linear interpolation within the
+    bucket holding the target rank — the same estimator as PromQL's
+    ``histogram_quantile``, bounded by the observed min/max at the
+    edges.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "labels", "count", "total", "minimum", "maximum",
+                 "buckets", "bucket_counts")
+
+    def __init__(self, name: str, labels: dict | None = None,
+                 buckets: tuple[float, ...] | None = None):
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.count = 0
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        bounds = DEFAULT_BUCKETS if buckets is None else tuple(buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must strictly increase")
+        self.buckets: tuple[float, ...] = bounds
+        #: Per-bucket (non-cumulative) counts; last slot is +Inf.
+        self.bucket_counts: list[int] = [0] * (len(bounds) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -91,14 +176,73 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.buckets, self.bucket_counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0.0
+        for index, bucket in enumerate(self.bucket_counts):
+            if not bucket:
+                continue
+            previous = running
+            running += bucket
+            if running < rank:
+                continue
+            low = (self.minimum if index == 0
+                   else self.buckets[index - 1])
+            high = (self.maximum if index == len(self.buckets)
+                    else self.buckets[index])
+            low = max(low, self.minimum)
+            high = min(high, self.maximum)
+            if high <= low:
+                return high
+            return low + (high - low) * (rank - previous) / bucket
+        return self.maximum if self.maximum is not None else 0.0
+
+    def summary(self) -> dict:
+        """The JSON-ready snapshot entry for this histogram."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "buckets": [
+                [("+Inf" if bound == float("inf") else bound), cum]
+                for bound, cum in self.cumulative_buckets()
+            ],
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
 
 class MetricsRegistry:
-    """A named collection of counters, gauges and histograms."""
+    """A named collection of counters, gauges and histograms.
+
+    Instruments are keyed by :func:`series_key` — the metric name plus
+    the sorted, escaped label set — so the same name with different
+    labels yields independent series.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -109,38 +253,47 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Instrument access (get-or-create)
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        key = series_key(name, labels)
         with self._lock:
-            instrument = self._counters.get(name)
+            instrument = self._counters.get(key)
             if instrument is None:
-                instrument = self._counters[name] = Counter(name)
+                instrument = self._counters[key] = Counter(name, labels)
             return instrument
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        key = series_key(name, labels)
         with self._lock:
-            instrument = self._gauges.get(name)
+            instrument = self._gauges.get(key)
             if instrument is None:
-                instrument = self._gauges[name] = Gauge(name)
+                instrument = self._gauges[key] = Gauge(name, labels)
             return instrument
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, labels: dict | None = None,
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        key = series_key(name, labels)
         with self._lock:
-            instrument = self._histograms.get(name)
+            instrument = self._histograms.get(key)
             if instrument is None:
-                instrument = self._histograms[name] = Histogram(name)
+                instrument = self._histograms[key] = Histogram(
+                    name, labels, buckets
+                )
             return instrument
 
     # ------------------------------------------------------------------
     # Convenience emitters
     # ------------------------------------------------------------------
-    def inc(self, name: str, amount: int | float = 1) -> None:
-        self.counter(name).inc(amount)
+    def inc(self, name: str, amount: int | float = 1,
+            labels: dict | None = None) -> None:
+        self.counter(name, labels).inc(amount)
 
-    def set_gauge(self, name: str, value: float) -> None:
-        self.gauge(name).set(value)
+    def set_gauge(self, name: str, value: float,
+                  labels: dict | None = None) -> None:
+        self.gauge(name, labels).set(value)
 
-    def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+    def observe(self, name: str, value: float,
+                labels: dict | None = None) -> None:
+        self.histogram(name, labels).observe(value)
 
     # ------------------------------------------------------------------
     # Snapshot / merge / reset
@@ -150,52 +303,69 @@ class MetricsRegistry:
         with self._lock:
             return {
                 "counters": {
-                    name: c.value for name, c in sorted(
+                    key: c.value for key, c in sorted(
                         self._counters.items()
                     )
                 },
                 "gauges": {
-                    name: g.value for name, g in sorted(
+                    key: g.value for key, g in sorted(
                         self._gauges.items()
                     )
                 },
                 "histograms": {
-                    name: {
-                        "count": h.count,
-                        "total": h.total,
-                        "min": h.minimum,
-                        "max": h.maximum,
-                        "mean": h.mean,
-                    }
-                    for name, h in sorted(self._histograms.items())
+                    key: h.summary()
+                    for key, h in sorted(self._histograms.items())
                 },
             }
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Absorb another registry: counters add, gauges take the other's
-        value, histograms combine their summaries."""
-        snap = other.snapshot()
-        for name, value in snap["counters"].items():
-            self.counter(name).inc(value)
-        for name, value in snap["gauges"].items():
-            self.gauge(name).set(value)
-        for name, summary in snap["histograms"].items():
-            histogram = self.histogram(name)
+        value, histograms combine summaries and bucket counts."""
+        self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Absorb a :meth:`snapshot` payload, possibly from another
+        process (the parallel verifier ships worker snapshots back over
+        the pool).  Histograms with explicit buckets merge per bucket
+        and require both sides to share the same bounds; bucket-less
+        summaries (older payloads) merge count/total/min/max only."""
+        for key, value in snapshot.get("counters", {}).items():
+            name, labels = parse_series_key(key)
+            self.counter(name, labels).inc(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            name, labels = parse_series_key(key)
+            self.gauge(name, labels).set(value)
+        for key, summary in snapshot.get("histograms", {}).items():
+            name, labels = parse_series_key(key)
+            theirs_buckets = summary.get("buckets")
+            bounds = None
+            if theirs_buckets:
+                bounds = tuple(
+                    float("inf") if entry[0] == "+Inf" else entry[0]
+                    for entry in theirs_buckets
+                )[:-1]
+            histogram = self.histogram(name, labels, bounds)
             histogram.count += summary["count"]
             histogram.total += summary["total"]
             for bound, pick in (("min", min), ("max", max)):
                 theirs = summary[bound]
                 if theirs is None:
                     continue
-                ours = getattr(
-                    histogram, "minimum" if bound == "min" else "maximum"
-                )
+                attr = "minimum" if bound == "min" else "maximum"
+                ours = getattr(histogram, attr)
                 merged = theirs if ours is None else pick(ours, theirs)
-                setattr(
-                    histogram,
-                    "minimum" if bound == "min" else "maximum",
-                    merged,
+                setattr(histogram, attr, merged)
+            if bounds is None:
+                continue
+            if bounds != histogram.buckets:
+                raise ValueError(
+                    f"cannot merge histogram {key!r}: bucket bounds "
+                    f"differ ({bounds} vs {histogram.buckets})"
                 )
+            previous = 0
+            for index, (_, cumulative) in enumerate(theirs_buckets):
+                histogram.bucket_counts[index] += cumulative - previous
+                previous = cumulative
 
     def reset(self) -> None:
         """Drop every instrument (tests and long-lived processes)."""
@@ -249,22 +419,25 @@ def swap_registry(
 # ----------------------------------------------------------------------
 # Hot-path emitters: one global read + None check when disabled.
 # ----------------------------------------------------------------------
-def inc(name: str, amount: int | float = 1) -> None:
+def inc(name: str, amount: int | float = 1,
+        labels: dict | None = None) -> None:
     """Increment a counter on the active registry, if any."""
     registry = _active
     if registry is not None:
-        registry.inc(name, amount)
+        registry.inc(name, amount, labels)
 
 
-def set_gauge(name: str, value: float) -> None:
+def set_gauge(name: str, value: float,
+              labels: dict | None = None) -> None:
     """Set a gauge on the active registry, if any."""
     registry = _active
     if registry is not None:
-        registry.set_gauge(name, value)
+        registry.set_gauge(name, value, labels)
 
 
-def observe(name: str, value: float) -> None:
+def observe(name: str, value: float,
+            labels: dict | None = None) -> None:
     """Record a histogram observation on the active registry, if any."""
     registry = _active
     if registry is not None:
-        registry.observe(name, value)
+        registry.observe(name, value, labels)

@@ -1,0 +1,176 @@
+"""A stdlib sampling profiler producing collapsed-stack output.
+
+:class:`SamplingProfiler` runs a daemon thread that periodically walks
+``sys._current_frames()`` and aggregates the observed call stacks.  The
+result is **folded stacks** — one line per distinct stack,
+``frame;frame;frame count`` with the root first — the input format of
+`flamegraph.pl` and every flamegraph viewer derived from it (e.g.
+speedscope imports it directly)::
+
+    profiler = SamplingProfiler(interval=0.005)
+    with profiler:
+        run_expensive_pipeline()
+    Path("profile.folded").write_text(profiler.collapsed())
+
+Sampling is statistical: the overhead is one stack walk per thread per
+interval (defaults to 5 ms, ~200 Hz) regardless of how hot the profiled
+code is, which makes it safe on a live server — the
+``/debug/profile?seconds=N`` serving endpoint (see ``docs/serving.md``)
+and the CLI's ``--profile-out`` flag are both built on this class.
+The profiler's own sampler thread is excluded from the samples; other
+threads are labelled by thread name so a threaded server's workers stay
+distinguishable.
+
+The number of collected samples is recorded on the metrics registry as
+``obs.profile_samples`` when metrics are enabled.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import Counter as _TallyCounter
+from time import perf_counter
+
+from repro.obs import metrics
+
+__all__ = ["SamplingProfiler", "profile_for"]
+
+#: Frames from these modules are the profiler's own machinery and are
+#: dropped from the top of recorded stacks.
+_OWN_MODULE = __name__
+
+
+def _frame_label(frame) -> str:
+    """``module:function`` for one frame (filename stem as fallback)."""
+    module = frame.f_globals.get("__name__")
+    if not module:
+        filename = frame.f_code.co_filename
+        module = filename.rsplit("/", 1)[-1]
+    return f"{module}:{frame.f_code.co_name}"
+
+
+class SamplingProfiler:
+    """Background-thread sampling profiler over ``sys._current_frames``.
+
+    Use as a context manager or via :meth:`start`/:meth:`stop`.  The
+    profiler may be stopped and restarted; samples accumulate until
+    :meth:`reset`.
+    """
+
+    def __init__(self, interval: float = 0.005,
+                 include_threads: bool = True):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        #: Sample every thread (labelled by name) or only the main one.
+        self.include_threads = include_threads
+        self._stacks: _TallyCounter[tuple[str, ...]] = _TallyCounter()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples = 0
+        self.wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="arcs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop.set()
+        thread.join()
+        self._thread = None
+        if self.samples:
+            metrics.inc("obs.profile_samples", self.samples)
+        return self
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stacks.clear()
+            self.samples = 0
+            self.wall_seconds = 0.0
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Sampling loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        main_id = threading.main_thread().ident
+        started = perf_counter()
+        while not self._stop.wait(self.interval):
+            self._sample(own_id, main_id)
+        self.wall_seconds += perf_counter() - started
+
+    def _sample(self, own_id: int, main_id: int | None) -> None:
+        names = {
+            thread.ident: thread.name
+            for thread in threading.enumerate()
+        } if self.include_threads else {}
+        frames = sys._current_frames()
+        with self._lock:
+            for thread_id, frame in frames.items():
+                if thread_id == own_id:
+                    continue
+                if not self.include_threads and thread_id != main_id:
+                    continue
+                stack: list[str] = []
+                while frame is not None:
+                    if frame.f_globals.get("__name__") != _OWN_MODULE:
+                        stack.append(_frame_label(frame))
+                    frame = frame.f_back
+                if not stack:
+                    continue
+                stack.reverse()  # root first: flamegraph convention
+                label = (names.get(thread_id, f"thread-{thread_id}")
+                         if thread_id != main_id else "main")
+                self._stacks[(label, *stack)] += 1
+                self.samples += 1
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def collapsed(self) -> str:
+        """Folded-stack output: ``thread;frame;...;frame count`` lines,
+        sorted by count descending then lexically (stable across runs of
+        an identical sample set)."""
+        with self._lock:
+            entries = sorted(
+                self._stacks.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        return "\n".join(
+            ";".join(stack) + f" {count}" for stack, count in entries
+        ) + ("\n" if entries else "")
+
+
+def profile_for(seconds: float, interval: float = 0.005) -> str:
+    """Sample the whole process for ``seconds`` and return the folded
+    stacks — the one-call form behind ``/debug/profile?seconds=N``."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    profiler = SamplingProfiler(interval=interval)
+    with profiler:
+        deadline = perf_counter() + seconds
+        while perf_counter() < deadline:
+            remaining = deadline - perf_counter()
+            if remaining > 0:
+                threading.Event().wait(min(remaining, 0.05))
+    return profiler.collapsed()

@@ -1,0 +1,245 @@
+"""Prometheus text-format exposition of the metrics registry.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot`
+payload (or a :class:`~repro.obs.report.RunReport`'s ``metrics`` dict —
+the formats are identical) into the Prometheus text exposition format
+(version 0.0.4), so ``arcs serve`` can answer
+``GET /metrics?format=prometheus`` and any report can be scraped or
+pushed.
+
+Name mapping follows the Prometheus conventions:
+
+* dots become underscores and everything is prefixed with the
+  ``arcs_`` namespace (``serve.request_seconds`` →
+  ``arcs_serve_request_seconds``);
+* counters gain the ``_total`` suffix;
+* histograms expand to ``_bucket{le="..."}`` series (cumulative,
+  ``+Inf`` last) plus ``_sum`` and ``_count``;
+* labels pass through verbatim — the snapshot's flattened
+  ``name{key="value"}`` keys already use Prometheus label syntax.
+
+``# HELP`` text comes from the checked-in catalogue
+(:mod:`repro.obs.catalogue`) when the metric is declared there.
+
+:func:`parse_prometheus` is the matching tiny parser: it validates the
+line grammar strictly enough for tests and the CI smoke job to assert
+on scraped output without a third-party client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import MetricsRegistry, parse_series_key
+
+__all__ = [
+    "CONTENT_TYPE",
+    "PrometheusParseError",
+    "parse_prometheus",
+    "render_prometheus",
+    "render_registry",
+]
+
+#: The content type Prometheus scrapers expect for the text format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+NAMESPACE = "arcs"
+
+_NAME_OK = re.compile(r"\A[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SAMPLE_RE = re.compile(
+    r"\A(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\Z"
+)
+
+
+def _mangle(name: str) -> str:
+    flat = re.sub(r"[^a-zA-Z0-9_:]", "_", name.replace(".", "_"))
+    out = f"{NAMESPACE}_{flat}"
+    if not _NAME_OK.match(out):  # pragma: no cover - mangling guarantees
+        raise ValueError(f"cannot express metric name {name!r}")
+    return out
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:
+        return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_str(labels: dict[str, str], extra: dict[str, str] | None = None,
+               ) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(
+            key,
+            str(value).replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"),
+        )
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _help_texts() -> dict[str, str]:
+    """Catalogue descriptions keyed by base metric name (labels and
+    ``{...}`` templates stripped)."""
+    from repro.obs import catalogue
+
+    return {
+        name.split("{")[0]: meaning
+        for name, (_kind, meaning) in sorted(catalogue.METRICS.items())
+    }
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render one metrics snapshot as Prometheus text format."""
+    helps = _help_texts()
+    lines: list[str] = []
+    families: dict[str, list[tuple[str, dict, object]]] = {}
+
+    def family(kind: str, key: str, value) -> None:
+        name, labels = parse_series_key(key)
+        families.setdefault(f"{kind}\x00{name}", []).append(
+            (name, labels, value)
+        )
+
+    for key, value in snapshot.get("counters", {}).items():
+        family("counter", key, value)
+    for key, value in snapshot.get("gauges", {}).items():
+        family("gauge", key, value)
+    for key, summary in snapshot.get("histograms", {}).items():
+        family("histogram", key, summary)
+
+    for packed in sorted(families):
+        kind, name = packed.split("\x00", 1)
+        series = families[packed]
+        base = _mangle(name)
+        exposed = base + "_total" if kind == "counter" else base
+        help_text = helps.get(name)
+        if help_text is not None:
+            lines.append(f"# HELP {exposed} {help_text}")
+        lines.append(f"# TYPE {exposed} {kind}")
+        for _, labels, value in series:
+            if kind == "histogram":
+                summary = value
+                for bound, cumulative in summary.get("buckets", ()):
+                    le = ("+Inf" if bound == "+Inf"
+                          else _format_value(float(bound)))
+                    lines.append(
+                        f"{base}_bucket"
+                        f"{_label_str(labels, {'le': le})} {cumulative}"
+                    )
+                lines.append(
+                    f"{base}_sum{_label_str(labels)} "
+                    f"{_format_value(summary['total'])}"
+                )
+                lines.append(
+                    f"{base}_count{_label_str(labels)} "
+                    f"{summary['count']}"
+                )
+            else:
+                lines.append(
+                    f"{exposed}{_label_str(labels)} "
+                    f"{_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_registry(registry: MetricsRegistry | None = None) -> str:
+    """Render a registry (default: the active one) as Prometheus text."""
+    if registry is None:
+        from repro.obs import metrics
+
+        registry = metrics.active()
+    if registry is None:
+        return "# metrics collection is disabled\n"
+    return render_prometheus(registry.snapshot())
+
+
+class PrometheusParseError(ValueError):
+    """The scraped payload is not valid Prometheus text format."""
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse Prometheus text format into ``{family: info}``.
+
+    ``info`` holds ``kind`` (from ``# TYPE``, when present), ``help``
+    and ``samples`` — a list of ``(name, labels, value)`` tuples where
+    ``name`` includes any ``_bucket``/``_sum``/``_count`` suffix.  The
+    grammar is checked strictly enough to catch malformed names, label
+    syntax and non-numeric values; this is the validator the CI smoke
+    job runs against a live scrape.
+    """
+    families: dict[str, dict] = {}
+
+    def info(name: str) -> dict:
+        return families.setdefault(
+            name, {"kind": None, "help": None, "samples": []}
+        )
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise PrometheusParseError(
+                    f"line {lineno}: malformed HELP line: {raw!r}"
+                )
+            info(parts[2])["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary",
+                    "untyped"):
+                raise PrometheusParseError(
+                    f"line {lineno}: malformed TYPE line: {raw!r}"
+                )
+            info(parts[2])["kind"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PrometheusParseError(
+                f"line {lineno}: malformed sample line: {raw!r}"
+            )
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = 0
+            for found in re.finditer(
+                    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)='
+                    r'"(?P<value>(?:[^"\\]|\\.)*)"(?:,|\Z)', raw_labels):
+                labels[found.group("key")] = found.group("value")
+                consumed = found.end()
+            if consumed != len(raw_labels):
+                raise PrometheusParseError(
+                    f"line {lineno}: malformed labels: {raw_labels!r}"
+                )
+        raw_value = match.group("value")
+        if raw_value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(raw_value)
+            except ValueError:
+                raise PrometheusParseError(
+                    f"line {lineno}: non-numeric sample value "
+                    f"{raw_value!r}"
+                ) from None
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)\Z", "", name)
+        target = base if base in families else name
+        info(target)["samples"].append((name, labels, raw_value))
+    return families

@@ -141,6 +141,16 @@ class RunReport:
     def from_json(cls, text: str) -> "RunReport":
         return cls.from_dict(json.loads(text))
 
+    def to_prometheus(self) -> str:
+        """The report's metrics in the Prometheus text format.
+
+        Empty snapshot (metrics were disabled) renders as an empty
+        exposition, which scrapers accept.
+        """
+        from repro.obs.prometheus import render_prometheus
+
+        return render_prometheus(self.metrics)
+
     def write(self, path) -> None:
         """Serialize to ``path`` as indented JSON."""
         Path(path).write_text(self.to_json() + "\n")
@@ -295,4 +305,37 @@ class RunCapture:
                 ),
                 metrics=snapshot,
             )
+            self._emit_events(exc_type)
         return False
+
+    def _emit_events(self, exc_type) -> None:
+        """Log the finished run to the event sink, if one is installed.
+
+        One ``run`` event for the capture itself, then one ``stage``
+        event per top-level pipeline span — enough to reconstruct the
+        run's shape from the event log alone without parsing the full
+        span tree.
+        """
+        from repro.obs import events as _events
+
+        if not _events.events_enabled() or self.report is None:
+            return
+        report = self.report
+        _events.emit(
+            "run",
+            name=report.name,
+            duration_seconds=report.duration_seconds,
+            config_sha256=report.config.get("sha256"),
+            error=exc_type.__name__ if exc_type is not None else None,
+        )
+        root = report.span_tree()
+        if root is None:
+            return
+        for stage in root.children:
+            _events.emit(
+                "stage",
+                run=report.name,
+                stage=stage.name,
+                duration_seconds=stage.duration,
+                **{f"attr_{k}": v for k, v in stage.attributes.items()},
+            )

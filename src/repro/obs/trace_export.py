@@ -1,0 +1,117 @@
+"""Chrome trace-event export: span trees as inspectable timelines.
+
+The span trees recorded by :mod:`repro.obs.tracing` serialize to JSON,
+but reading nested durations by eye does not scale past a handful of
+optimizer trials.  :func:`chrome_trace` converts a
+:class:`~repro.obs.report.RunReport` (or a raw :class:`Span` tree) into
+the Chrome trace-event format — a ``{"traceEvents": [...]}`` document
+of complete (``"ph": "X"``) events with microsecond timestamps — which
+loads directly in Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``.  The CLI writes it with ``--trace-out trace.json``
+on any command that produces a run report.
+
+Timestamps: spans record their start on the monotonic clock
+(``Span.started``, exported as ``started_seconds``).  Events are laid
+out relative to the root span's start.  Older reports serialized before
+start times were exported fall back to *stacked* layout — each child
+starts where its previous sibling ended — which preserves durations and
+nesting but not the gaps between siblings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracing import Span
+
+__all__ = ["chrome_trace", "chrome_trace_events", "write_chrome_trace"]
+
+
+def _root_span(source) -> Span | None:
+    """Accept a RunReport, a serialized span dict, or a Span."""
+    if source is None:
+        return None
+    if isinstance(source, Span):
+        return source
+    if isinstance(source, dict):
+        return Span.from_dict(source)
+    tree = getattr(source, "span_tree", None)
+    if callable(tree):
+        return tree()
+    raise TypeError(
+        f"cannot export {type(source).__name__}; expected a RunReport, "
+        "Span, or serialized span dict"
+    )
+
+
+def chrome_trace_events(root: Span, pid: int = 0,
+                        tid: int = 0) -> list[dict]:
+    """Flatten one span tree into a list of complete trace events."""
+    events: list[dict] = []
+    have_starts = all(
+        span.started is not None for _, span in root.walk()
+    )
+    base = root.started if have_starts else 0.0
+
+    def emit(span: Span, synthetic_start: float) -> None:
+        start = (span.started - base if have_starts
+                 else synthetic_start)
+        duration = span.duration or 0.0
+        event = {
+            "name": span.name,
+            "cat": "arcs",
+            "ph": "X",
+            "ts": round(start * 1e6, 3),
+            "dur": round(duration * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if span.attributes:
+            event["args"] = dict(span.attributes)
+        events.append(event)
+        child_start = start
+        for child in span.children:
+            emit(child, child_start)
+            child_start += child.duration or 0.0
+
+    emit(root, 0.0)
+    return events
+
+
+def chrome_trace(source, process_name: str = "arcs") -> dict:
+    """A complete Chrome trace-event document for one run.
+
+    ``source`` is a :class:`~repro.obs.report.RunReport`, a
+    :class:`Span`, or a serialized span dict; a report's name labels the
+    process in the trace viewer.  A report without a span tree (tracing
+    was disabled) raises :class:`ValueError` — there is nothing to draw.
+    """
+    root = _root_span(
+        source.trace if hasattr(source, "trace")
+        and not isinstance(source, Span) else source
+    )
+    if root is None:
+        raise ValueError(
+            "run report has no span tree; re-run with tracing enabled "
+            "(--trace / --trace-out)"
+        )
+    name = getattr(source, "name", None) or root.name or process_name
+    events: list[dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": 0,
+        "args": {"name": f"{process_name}: {name}"},
+    }]
+    events.extend(chrome_trace_events(root))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, source,
+                       process_name: str = "arcs") -> None:
+    """Serialize :func:`chrome_trace` to ``path`` as indented JSON."""
+    document = chrome_trace(source, process_name=process_name)
+    Path(path).write_text(
+        json.dumps(document, indent=2, default=str) + "\n"
+    )

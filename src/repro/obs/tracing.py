@@ -130,8 +130,16 @@ class Span:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-ready nested representation of the subtree."""
+        """JSON-ready nested representation of the subtree.
+
+        ``started_seconds`` is the span's start on the monotonic clock —
+        only differences between spans of the same tree are meaningful;
+        the trace exporter (:mod:`repro.obs.trace_export`) uses them to
+        lay spans out on a timeline.
+        """
         payload: dict = {"name": self.name}
+        if self.started is not None:
+            payload["started_seconds"] = self.started
         if self.duration is not None:
             payload["duration_seconds"] = self.duration
         if self.attributes:
@@ -144,6 +152,7 @@ class Span:
     def from_dict(cls, payload: dict) -> "Span":
         """Rebuild a span tree serialized by :meth:`to_dict`."""
         span = cls(payload["name"], payload.get("attributes"))
+        span.started = payload.get("started_seconds")
         span.duration = payload.get("duration_seconds")
         span.children = [
             cls.from_dict(child) for child in payload.get("children", ())

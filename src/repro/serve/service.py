@@ -16,7 +16,10 @@ Endpoints::
 
     GET  /healthz        liveness + model count
     GET  /models         registry listing with artefact metadata
-    GET  /metrics        snapshot of the process metrics registry
+    GET  /metrics        process metrics (JSON, or Prometheus text via
+                         ?format=prometheus / an Accept: text/plain)
+    GET  /debug/profile  sample the process for ?seconds=N, return
+                         collapsed (flamegraph) stacks
     POST /predict        {"model", "x", "y"} -> segment membership
     POST /predict_batch  {"model", "x": [...], "y": [...]} -> arrays
     POST /explain        {"model", "x", "y"} -> the rule that fired
@@ -39,10 +42,14 @@ import threading
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
+from urllib.parse import parse_qs
 
 import numpy as np
 
-from repro.obs import metrics, tracing
+from repro.obs import events, metrics, tracing
+from repro.obs.profiler import profile_for
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_registry
 from repro.obs.tracing import Span
 from repro.serve.registry import ModelRegistry, ServedModel
 from repro.serve.scorer import ScoringError, compile_scorer
@@ -54,7 +61,12 @@ __all__ = [
     "PredictionServer",
     "PredictionService",
     "ServiceError",
+    "TextResponse",
 ]
+
+#: Upper bound on one ``/debug/profile`` sampling window; keeps a typo'd
+#: ``seconds=`` from parking a handler thread for an hour.
+MAX_PROFILE_SECONDS = 30.0
 
 
 class ServiceError(Exception):
@@ -64,6 +76,22 @@ class ServiceError(Exception):
         super().__init__(message)
         self.status = status
         self.message = message
+
+
+class TextResponse:
+    """A plain-text endpoint body carrying its own content type.
+
+    Endpoints normally return dicts that the HTTP layer serializes as
+    JSON; the Prometheus exposition and the profiler's collapsed stacks
+    are text formats, so those endpoints return one of these instead.
+    """
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str,
+                 content_type: str = "text/plain; charset=utf-8"):
+        self.text = text
+        self.content_type = content_type
 
 
 def _require(payload: dict, key: str):
@@ -144,13 +172,37 @@ class PredictionService:
             ],
         }
 
-    def metrics_snapshot(self, payload: dict | None = None) -> dict:
+    def metrics_snapshot(
+            self, payload: dict | None = None) -> dict | TextResponse:
+        fmt = (payload or {}).get("format", "json")
+        if fmt == "prometheus":
+            return TextResponse(render_registry(),
+                                PROMETHEUS_CONTENT_TYPE)
+        if fmt != "json":
+            raise ServiceError(
+                400, f"unknown metrics format {fmt!r}; "
+                     "expected 'json' or 'prometheus'"
+            )
         registry = metrics.active()
         return {
             "enabled": registry is not None,
             "metrics": registry.snapshot() if registry is not None
             else {},
         }
+
+    def profile(self, payload: dict | None = None) -> TextResponse:
+        """Sample the whole process and return collapsed stacks."""
+        raw = (payload or {}).get("seconds", 1.0)
+        try:
+            seconds = float(raw)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                400, f"field 'seconds' must be a number, got {raw!r}"
+            ) from None
+        if seconds <= 0:
+            raise ServiceError(400, "field 'seconds' must be positive")
+        collapsed = profile_for(min(seconds, MAX_PROFILE_SECONDS))
+        return TextResponse(collapsed or "# no samples collected\n")
 
     def predict(self, payload: dict) -> dict:
         model = self._resolve(payload)
@@ -221,16 +273,23 @@ class PredictionService:
     # ------------------------------------------------------------------
     # Instrumented dispatch (shared by HTTP and tests)
     # ------------------------------------------------------------------
-    def dispatch(self, endpoint: str,
-                 payload: dict | None) -> tuple[int, dict]:
+    def dispatch(self, endpoint: str, payload: dict | None,
+                 ) -> tuple[int, dict | TextResponse]:
         """Run one endpoint with metrics + an optional request span.
 
         Returns ``(status, body)``; service errors become their status
         with an ``{"error": ...}`` body, unexpected errors a 500.
+
+        The request latency and error metrics are emitted from the
+        innermost ``finally`` so that a failure in the *bookkeeping*
+        itself (span ring buffer, event sink) can never lose the
+        observation — they are logged and swallowed instead.
         """
         handler = _ENDPOINTS.get(endpoint)
         if handler is None:
             return 404, {"error": f"no such endpoint {endpoint!r}"}
+        metrics.inc("serve.requests")
+        metrics.inc(f"serve.requests_{endpoint}")
         started = perf_counter()
         span = (
             Span(f"serve.{endpoint}") if tracing.enabled() else None
@@ -250,15 +309,25 @@ class PredictionService:
             return 500, {"error": "internal server error"}
         finally:
             elapsed = perf_counter() - started
-            if span is not None:
-                span.set("status", status)
-                span.__exit__(None, None, None)
-                self.recent_spans.append(span)
-            metrics.inc("serve.requests")
-            metrics.inc(f"serve.requests_{endpoint}")
-            if status >= 400:
-                metrics.inc("serve.request_errors")
-            metrics.observe("serve.request_seconds", elapsed)
+            try:
+                if span is not None:
+                    span.set("status", status)
+                    span.__exit__(None, None, None)
+                    self.recent_spans.append(span)
+                events.emit("request", endpoint=endpoint,
+                            status=status, seconds=elapsed)
+            except Exception:
+                logger.exception(
+                    "request bookkeeping failed for serve.%s", endpoint
+                )
+            finally:
+                if status >= 400:
+                    metrics.inc("serve.request_errors")
+                    metrics.inc("serve.request_errors",
+                                labels={"endpoint": endpoint})
+                metrics.observe("serve.request_seconds", elapsed)
+                metrics.observe("serve.request_seconds", elapsed,
+                                labels={"endpoint": endpoint})
 
 
 #: Endpoint name -> bound-method dispatch table (GET entries take an
@@ -267,6 +336,7 @@ _ENDPOINTS = {
     "healthz": PredictionService.healthz,
     "models": PredictionService.models,
     "metrics": PredictionService.metrics_snapshot,
+    "profile": PredictionService.profile,
     "predict": PredictionService.predict,
     "predict_batch": PredictionService.predict_batch,
     "explain": PredictionService.explain,
@@ -276,6 +346,7 @@ _GET_ROUTES = {
     "/healthz": "healthz",
     "/models": "models",
     "/metrics": "metrics",
+    "/debug/profile": "profile",
 }
 
 _POST_ROUTES = {
@@ -295,11 +366,24 @@ class PredictionHandler(BaseHTTPRequestHandler):
     # Verbs
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        endpoint = _GET_ROUTES.get(self.path)
+        path, _, query = self.path.partition("?")
+        endpoint = _GET_ROUTES.get(path)
         if endpoint is None:
-            self._send(404, {"error": f"no such path {self.path!r}"})
+            self._send(404, {"error": f"no such path {path!r}"})
             return
-        status, body = self.server.service.dispatch(endpoint, None)
+        payload = {
+            key: values[-1]
+            for key, values in parse_qs(query).items()
+        } if query else {}
+        if endpoint == "metrics" and "format" not in payload:
+            # Content negotiation: a Prometheus scraper asks for the
+            # text format; JSON stays the default for everyone else.
+            accept = self.headers.get("Accept", "")
+            if "text/plain" in accept or "openmetrics" in accept:
+                payload["format"] = "prometheus"
+        status, body = self.server.service.dispatch(
+            endpoint, payload or None
+        )
         self._send(status, body)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
@@ -331,10 +415,15 @@ class PredictionHandler(BaseHTTPRequestHandler):
             raise ServiceError(400, "request body must be a JSON object")
         return payload
 
-    def _send(self, status: int, body: dict) -> None:
-        data = json.dumps(body).encode("utf-8")
+    def _send(self, status: int, body: dict | TextResponse) -> None:
+        if isinstance(body, TextResponse):
+            data = body.text.encode("utf-8")
+            content_type = body.content_type
+        else:
+            data = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

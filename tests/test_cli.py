@@ -125,6 +125,69 @@ class TestFit:
         assert bins_path.exists()
 
 
+class TestTelemetryExports:
+    """The shared --trace-out / --events-out / --profile-out flags."""
+
+    FIT = [
+        "--x", "age", "--y", "salary",
+        "--rhs", "group", "--target", "A",
+        "--bins", "20",
+        "--support-levels", "3", "--confidence-levels", "3",
+    ]
+
+    def test_trace_out_writes_chrome_trace(self, dataset, tmp_path,
+                                           capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(["fit", str(dataset), *self.FIT,
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        assert f"chrome trace written to {trace_path}" \
+            in capsys.readouterr().out
+        doc = json.loads(trace_path.read_text())
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"  # process_name metadata first
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices, events
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in slices)
+        assert any(e["name"] == "arcs.fit" for e in slices)
+
+    def test_events_out_writes_run_and_stage_events(self, dataset,
+                                                    tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        code = main(["fit", str(dataset), *self.FIT,
+                     "--events-out", str(events_path)])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in events_path.read_text().splitlines()]
+        types = {line["type"] for line in lines}
+        assert "run" in types and "stage" in types
+        run = next(line for line in lines if line["type"] == "run")
+        assert run["name"] == "arcs.fit"
+        assert run["error"] is None
+        # The sink must not leak past the command.
+        from repro.obs import events as events_mod
+        assert not events_mod.events_enabled()
+
+    def test_profile_out_writes_collapsed_stacks(self, dataset,
+                                                 tmp_path, capsys):
+        profile_path = tmp_path / "profile.txt"
+        code = main(["fit", str(dataset), *self.FIT,
+                     "--profile-out", str(profile_path)])
+        assert code == 0
+        assert f"written to {profile_path}" in capsys.readouterr().out
+        assert profile_path.exists()
+        for line in profile_path.read_text().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) >= 1
+
+    def test_rejects_unwritable_export_path(self, dataset, tmp_path):
+        bad = tmp_path / "no-such-dir" / "trace.json"
+        with pytest.raises(SystemExit) as exc:
+            main(["fit", str(dataset), *self.FIT,
+                  "--trace-out", str(bad)])
+        assert "does not exist" in str(exc.value)
+
+
 class TestFitAll:
     def test_prints_one_section_per_group(self, dataset, capsys):
         code = main([

@@ -188,6 +188,119 @@ class TestMetrics:
         assert registry.counter("hits").value == 2
 
 
+class TestLabeledAndBucketedMetrics:
+    def test_series_key_round_trip(self):
+        key = metrics_mod.series_key(
+            "serve.request_seconds", {"endpoint": "predict", "code": "200"}
+        )
+        assert key == ('serve.request_seconds'
+                       '{code="200",endpoint="predict"}')
+        name, labels = metrics_mod.parse_series_key(key)
+        assert name == "serve.request_seconds"
+        assert labels == {"endpoint": "predict", "code": "200"}
+
+    def test_unlabeled_key_is_the_bare_name(self):
+        assert metrics_mod.series_key("hits", None) == "hits"
+        assert metrics_mod.parse_series_key("hits") == ("hits", {})
+
+    def test_labeled_series_are_independent(self):
+        registry = MetricsRegistry()
+        registry.inc("requests", labels={"endpoint": "a"})
+        registry.inc("requests", 2, labels={"endpoint": "b"})
+        registry.inc("requests")
+        assert registry.counter(
+            "requests", labels={"endpoint": "a"}).value == 1
+        assert registry.counter(
+            "requests", labels={"endpoint": "b"}).value == 2
+        assert registry.counter("requests").value == 1
+
+    def test_histogram_buckets_and_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (0.004, 0.02, 0.02, 0.09, 0.4, 3.0):
+            registry.observe("seconds", value)
+        summary = registry.histogram("seconds").summary()
+        bounds = [bound for bound, _ in summary["buckets"]]
+        assert bounds[-1] == "+Inf"
+        cumulative = [count for _, count in summary["buckets"]]
+        assert cumulative == sorted(cumulative)  # cumulative
+        assert cumulative[-1] == summary["count"] == 6
+        assert summary["min"] <= summary["p50"] <= summary["p95"]
+        assert summary["p95"] <= summary["p99"] <= summary["max"]
+
+    def test_quantiles_clamped_to_observed_range(self):
+        registry = MetricsRegistry()
+        registry.observe("seconds", 0.3)
+        summary = registry.histogram("seconds").summary()
+        assert summary["p50"] == pytest.approx(0.3)
+        assert summary["p99"] == pytest.approx(0.3)
+
+    def test_merge_combines_labeled_series_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("seconds", 0.01, labels={"endpoint": "x"})
+        b.observe("seconds", 0.5, labels={"endpoint": "x"})
+        b.observe("seconds", 0.2, labels={"endpoint": "y"})
+        b.inc("requests", 3, labels={"endpoint": "x"})
+        a.merge(b)
+        merged = a.histogram("seconds", labels={"endpoint": "x"})
+        assert merged.count == 2
+        assert merged.minimum == 0.01 and merged.maximum == 0.5
+        # Bucket counts merged positionally and stay cumulative-correct.
+        assert sum(merged.bucket_counts) == 2
+        assert a.histogram("seconds", labels={"endpoint": "y"}).count == 1
+        assert a.counter("requests", labels={"endpoint": "x"}).value == 3
+
+    def test_merge_snapshot_round_trip(self):
+        worker = MetricsRegistry()
+        worker.inc("items", 4, labels={"shard": "0"})
+        worker.observe("seconds", 0.25)
+        parent = MetricsRegistry()
+        parent.inc("items", 1, labels={"shard": "0"})
+        parent.merge_snapshot(json.loads(json.dumps(worker.snapshot())))
+        assert parent.counter("items", labels={"shard": "0"}).value == 5
+        assert parent.histogram("seconds").count == 1
+
+    def test_merge_rejects_mismatched_bucket_bounds(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("seconds", buckets=(0.1, 1.0)).observe(0.05)
+        b.histogram("seconds", buckets=(0.2, 2.0)).observe(0.05)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_reset_clears_every_series(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", labels={"endpoint": "a"})
+        registry.set_gauge("level", 0.5)
+        registry.observe("seconds", 1.0, labels={"endpoint": "a"})
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {},
+                            "histograms": {}}
+
+    def test_snapshot_keys_are_flat_series_keys(self):
+        registry = MetricsRegistry()
+        registry.observe("seconds", 0.1, labels={"endpoint": "a"})
+        registry.observe("seconds", 0.2)
+        snapshot = registry.snapshot()
+        assert set(snapshot["histograms"]) == {
+            "seconds", 'seconds{endpoint="a"}'
+        }
+        json.dumps(snapshot)  # stays JSON-ready
+
+    def test_module_emitters_accept_labels(self):
+        registry = metrics_mod.enable()
+        try:
+            metrics_mod.inc("hits", labels={"endpoint": "a"})
+            metrics_mod.observe("seconds", 0.1, labels={"endpoint": "a"})
+            metrics_mod.set_gauge("level", 1.0, labels={"endpoint": "a"})
+        finally:
+            metrics_mod.disable()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {'hits{endpoint="a"}': 1}
+        assert snapshot["gauges"] == {'level{endpoint="a"}': 1.0}
+        assert list(snapshot["histograms"]) == ['seconds{endpoint="a"}']
+
+
 class TestRunReport:
     def _sample_report(self):
         obs.enable()

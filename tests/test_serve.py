@@ -305,6 +305,105 @@ class TestPredictionService:
         assert snapshot["counters"]["serve.request_errors"] == 1
         assert snapshot["histograms"]["serve.request_seconds"]["count"] == 2
 
+    def test_dispatch_records_labeled_series_per_endpoint(self, service):
+        from repro.obs import metrics as metrics_mod
+        registry = metrics_mod.MetricsRegistry()
+        metrics_mod.enable(registry)
+        try:
+            service.dispatch("healthz", None)
+            service.dispatch("predict", {"model": "ghost", "x": 1, "y": 2})
+            snapshot = registry.snapshot()
+        finally:
+            metrics_mod.disable()
+        histograms = snapshot["histograms"]
+        assert histograms['serve.request_seconds{endpoint="healthz"}'][
+            "count"] == 1
+        assert histograms['serve.request_seconds{endpoint="predict"}'][
+            "count"] == 1
+        # The deprecated unlabeled twins keep accumulating the totals.
+        assert histograms["serve.request_seconds"]["count"] == 2
+        assert snapshot["counters"][
+            'serve.request_errors{endpoint="predict"}'] == 1
+        assert snapshot["counters"]["serve.request_errors"] == 1
+
+    def test_metrics_endpoint_renders_prometheus(self, service):
+        from repro.obs import metrics as metrics_mod
+        from repro.obs.prometheus import parse_prometheus
+        from repro.serve.service import TextResponse
+        metrics_mod.enable(metrics_mod.MetricsRegistry())
+        try:
+            service.dispatch("predict",
+                             {"model": "groupA", "x": 25, "y": 60_000})
+            status, body = service.dispatch(
+                "metrics", {"format": "prometheus"}
+            )
+        finally:
+            metrics_mod.disable()
+        assert status == 200 and isinstance(body, TextResponse)
+        assert body.content_type.startswith("text/plain")
+        families = parse_prometheus(body.text)
+        latency = families["arcs_serve_request_seconds"]
+        assert latency["kind"] == "histogram"
+        buckets = [
+            sample for sample in latency["samples"]
+            if sample[0].endswith("_bucket")
+            and sample[1].get("endpoint") == "predict"
+        ]
+        assert buckets and buckets[-1][1]["le"] == "+Inf"
+
+    def test_metrics_endpoint_rejects_unknown_format(self, service):
+        status, body = service.dispatch("metrics", {"format": "xml"})
+        assert status == 400 and "format" in body["error"]
+
+    def test_metrics_endpoint_prometheus_while_disabled(self, service):
+        from repro.serve.service import TextResponse
+        status, body = service.dispatch(
+            "metrics", {"format": "prometheus"}
+        )
+        assert status == 200 and isinstance(body, TextResponse)
+        assert "disabled" in body.text
+
+    def test_profile_endpoint_returns_collapsed_stacks(self, service):
+        from repro.serve.service import TextResponse
+        status, body = service.dispatch("profile", {"seconds": "0.05"})
+        assert status == 200 and isinstance(body, TextResponse)
+        # Either folded "stack count" lines or the explicit empty marker.
+        for line in body.text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+
+    @pytest.mark.parametrize("seconds", ["0", "-1", "nan-ish"])
+    def test_profile_endpoint_rejects_bad_seconds(self, service, seconds):
+        status, body = service.dispatch("profile", {"seconds": seconds})
+        assert status == 400 and "seconds" in body["error"]
+
+    def test_metrics_survive_bookkeeping_failure(self, service):
+        """Regression: a failure while recording the span/event must not
+        lose the latency observation or flip the response."""
+        from repro.obs import metrics as metrics_mod, tracing
+
+        class ExplodingBuffer:
+            def append(self, span):
+                raise RuntimeError("ring buffer gone")
+
+        registry = metrics_mod.MetricsRegistry()
+        metrics_mod.enable(registry)
+        tracing.enable()
+        service.recent_spans = ExplodingBuffer()
+        try:
+            status, body = service.dispatch("healthz", None)
+            snapshot = registry.snapshot()
+        finally:
+            tracing.disable()
+            metrics_mod.disable()
+        assert status == 200 and body["status"] == "ok"
+        assert snapshot["histograms"]["serve.request_seconds"]["count"] == 1
+        assert snapshot["histograms"][
+            'serve.request_seconds{endpoint="healthz"}']["count"] == 1
+        assert "serve.request_errors" not in snapshot["counters"]
+
     def test_dispatch_records_request_spans_when_tracing(self, service):
         from repro.obs import tracing
         tracing.enable()
@@ -339,6 +438,15 @@ def _get(server, path):
             return response.status, json.load(response)
     except urllib.error.HTTPError as error:
         return error.code, json.load(error)
+
+
+def _get_text(server, path, headers=None):
+    request = urllib.request.Request(server.url + path,
+                                     headers=headers or {})
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return (response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"))
 
 
 def _post(server, path, payload):
@@ -391,6 +499,47 @@ class TestHTTPServer:
             metrics_mod.disable()
         assert body["enabled"] is True
         assert body["metrics"]["counters"]["serve.requests"] >= 1
+
+    def test_prometheus_exposition_over_http(self, server):
+        from repro.obs import metrics as metrics_mod
+        from repro.obs.prometheus import parse_prometheus
+        metrics_mod.enable(metrics_mod.MetricsRegistry())
+        try:
+            _post(server, "/predict",
+                  {"model": "groupA", "x": 25, "y": 60_000})
+            status, content_type, text = _get_text(
+                server, "/metrics?format=prometheus"
+            )
+        finally:
+            metrics_mod.disable()
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        families = parse_prometheus(text)  # must not raise
+        assert "arcs_serve_requests_total" in families
+
+    def test_prometheus_via_accept_header(self, server):
+        from repro.obs import metrics as metrics_mod
+        metrics_mod.enable(metrics_mod.MetricsRegistry())
+        try:
+            status, _, text = _get_text(
+                server, "/metrics", headers={"Accept": "text/plain"}
+            )
+        finally:
+            metrics_mod.disable()
+        assert status == 200
+        assert text.startswith("#") or "arcs_" in text
+        # Explicit query parameter wins over the Accept header.
+        status, body = _get(server, "/metrics?format=json")
+        assert status == 200 and "enabled" in body
+
+    def test_debug_profile_over_http(self, server):
+        status, content_type, text = _get_text(
+            server, "/debug/profile?seconds=0.05"
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert text  # folded stacks or the empty-profile marker
 
     def test_error_statuses(self, server):
         assert _get(server, "/nope")[0] == 404

@@ -77,6 +77,43 @@ class TestParallelMatchesSerial:
             Verifier(make_table(n=50), "group", "A", workers=-2)
 
 
+class TestCrossProcessMetrics:
+    """Worker registries merge back into the parent's, so serial and
+    parallel runs report identical sampling counters."""
+
+    def _counters(self, workers):
+        from repro.obs import metrics as metrics_mod
+        registry = metrics_mod.MetricsRegistry()
+        metrics_mod.enable(registry)
+        try:
+            Verifier(make_table(), "group", "A", sample_size=200,
+                     repeats=6, seed=13, workers=workers,
+                     ).verify(make_segmentation())
+        finally:
+            metrics_mod.disable()
+        return registry.snapshot()["counters"]
+
+    def test_parallel_counters_match_serial(self):
+        serial = self._counters(workers=1)
+        parallel = self._counters(workers=3)
+        assert serial["verifier.samples_drawn"] == 6
+        assert serial["verifier.tuples_sampled"] == 6 * 200
+        assert parallel["verifier.samples_drawn"] == \
+            serial["verifier.samples_drawn"]
+        assert parallel["verifier.tuples_sampled"] == \
+            serial["verifier.tuples_sampled"]
+        assert parallel["verifier.parallel_batches"] == 3
+
+    def test_parallel_without_metrics_stays_silent(self):
+        from repro.obs import metrics as metrics_mod
+        assert metrics_mod.active() is None
+        report = Verifier(make_table(n=200), "group", "A",
+                          sample_size=50, repeats=4, seed=2,
+                          workers=2).verify(make_segmentation())
+        assert report.repeats == 4
+        assert metrics_mod.active() is None
+
+
 class _CrashingFuture:
     def result(self):
         raise RuntimeError("worker ate a SIGKILL")

@@ -7,7 +7,11 @@ layer — string literals and f-string templates (``f"serve.{endpoint}"``
 becomes the pattern ``serve.{endpoint}``) — at the emitter call sites
 (``metrics.inc`` / ``set_gauge`` / ``observe`` / ``timed``, and
 ``trace`` / ``Span`` / ``RunCapture`` for spans) and diffs them against
-the checked-in catalogue :mod:`repro.obs.catalogue`:
+the checked-in catalogue :mod:`repro.obs.catalogue`.  A metric emitted
+with a ``labels={...}`` literal is recorded as a *labeled series* —
+``observe("serve.request_seconds", t, labels={"endpoint": e})``
+becomes the name ``serve.request_seconds{endpoint}`` (label *keys*
+only, sorted), which the catalogue must declare verbatim:
 
 * a name **emitted but not declared** fails (declare it, with a
   description, in the catalogue);
@@ -88,6 +92,26 @@ def _literal_name(arg: ast.expr) -> str | None:
     return None
 
 
+def _label_keys(node: ast.Call) -> list[str] | None:
+    """Sorted constant keys of a ``labels={...}`` literal, or ``None``.
+
+    A dynamic ``labels=`` argument (a variable, unpacking, non-string
+    keys) yields ``None`` and the usage falls back to the base name —
+    the call site then answers for the unlabeled declaration.
+    """
+    for keyword in node.keywords:
+        if keyword.arg != "labels":
+            continue
+        value = keyword.value
+        if isinstance(value, ast.Dict) and value.keys and all(
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                for key in value.keys):
+            return sorted(key.value for key in value.keys)
+        return None
+    return None
+
+
 def _pattern_regex(name: str) -> re.Pattern | None:
     """A declared template name as a regex, or ``None`` for literals."""
     if "{" not in name:
@@ -140,6 +164,10 @@ class ObsCatalogueChecker(Checker):
         name = _literal_name(node.args[0])
         if name is None:
             return  # dynamic name: the call site is the declaration's job
+        if kind != "span":
+            keys = _label_keys(node)
+            if keys:
+                name = f"{name}{{{','.join(keys)}}}"
         self.usages.append(_Usage(
             name=name, kind=kind, rel=ctx.rel,
             line=node.lineno, col=node.col_offset + 1,
@@ -401,7 +429,11 @@ def _render_catalogue(metrics: dict[str, tuple[str, str]],
         "table in ``docs/observability.md``.  Names containing "
         "``{...}`` are",
         "templates matching one dotted-name segment "
-        "(``serve.requests_{endpoint}``).",
+        "(``serve.requests_{endpoint}``);",
+        "names ending in ``{key,...}`` declare labeled series — the "
+        "call site",
+        "passes ``labels={...}`` with exactly those keys "
+        "(``serve.request_seconds{endpoint}``).",
         '"""',
         "",
         "from __future__ import annotations",
