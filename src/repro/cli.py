@@ -12,8 +12,12 @@ Subcommands mirror the library workflow:
   evaluate it against a CSV;
 * ``arcs serve`` — serve a directory of saved segmentations over HTTP
   (``/predict``, ``/predict_batch``, ``/explain``, ``/models``,
-  ``/healthz``, ``/metrics`` — see ``docs/serving.md``);
-* ``arcs score`` — apply a saved segmentation to a CSV offline.
+  ``/healthz``, ``/metrics``, ``/stats`` — see ``docs/serving.md``);
+* ``arcs score`` — apply a saved segmentation to a CSV offline;
+* ``arcs drift`` — compare two occupancy snapshots (training BinArray,
+  segmentation artefact with an embedded reference profile, or a
+  captured ``/stats`` payload) with PSI / Jensen-Shannon scores and an
+  ASCII delta grid.
 
 Every command is driven by :func:`main`, which takes an argv list so
 tests can invoke it without a subprocess.
@@ -220,6 +224,30 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write per-row predictions as CSV")
     _add_obs_flags(score)
 
+    drift = commands.add_parser(
+        "drift",
+        help="compare two occupancy snapshots "
+             "(PSI / Jensen-Shannon + ASCII delta grid)",
+    )
+    drift.add_argument(
+        "reference", type=Path,
+        help="baseline snapshot: a BinArray .npz, a segmentation JSON "
+             "with an embedded reference profile, or a captured /stats "
+             "payload",
+    )
+    drift.add_argument("observed", type=Path,
+                       help="comparison snapshot (same formats)")
+    drift.add_argument(
+        "--model", default=None,
+        help="model entry to read when a /stats capture holds several",
+    )
+    drift.add_argument(
+        "--rel-tol", type=float, default=0.25,
+        help="per-cell relative tolerance below which the delta grid "
+             "marks a cell as steady (default 0.25)",
+    )
+    _add_obs_flags(drift)
+
     return parser
 
 
@@ -356,7 +384,10 @@ def _command_fit(args: argparse.Namespace) -> int:
     print(f"\n{result.best_trial}")
 
     if args.save_segmentation is not None:
-        save_segmentation(result.segmentation, args.save_segmentation)
+        # Embedding the training occupancy lets the serving layer score
+        # live-traffic drift against this exact fit (GET /stats).
+        save_segmentation(result.segmentation, args.save_segmentation,
+                          bin_array=result.binner.bin_array)
         print(f"segmentation saved to {args.save_segmentation}")
     if args.save_binarray is not None:
         save_bin_array(result.binner.bin_array, args.save_binarray)
@@ -412,7 +443,8 @@ def _command_remine(args: argparse.Namespace) -> int:
           f"{format_occupancy(profile_bin_array(bin_array))}")
     print(segmentation.describe())
     if args.save_segmentation is not None:
-        save_segmentation(segmentation, args.save_segmentation)
+        save_segmentation(segmentation, args.save_segmentation,
+                          bin_array=bin_array)
         print(f"segmentation saved to {args.save_segmentation}")
     _emit_run_report(args, capture.report)
     return 0
@@ -564,6 +596,153 @@ def _command_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_occupancy(path: Path, model_key: str | None):
+    """Load any supported occupancy snapshot as a
+    :class:`~repro.data.summary.ReferenceProfile`.
+
+    Accepts a BinArray ``.npz``, a segmentation artefact carrying a
+    ``reference_profile`` block, or a captured ``/stats`` payload
+    (whose ``recent`` window supplies the traffic grid).
+    """
+    import json
+
+    from repro.data.summary import ReferenceProfile, reference_profile
+    from repro.persistence import (
+        SEGMENTATION_FORMAT,
+        PersistenceError,
+        segmentation_reference,
+    )
+
+    if path.suffix == ".npz":
+        return reference_profile(load_bin_array(path))
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except ValueError as error:
+        raise SystemExit(f"arcs: {path} is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"arcs: {path} is not an occupancy snapshot")
+    if payload.get("format") == SEGMENTATION_FORMAT:
+        try:
+            reference = segmentation_reference(path)
+        except PersistenceError as error:
+            raise SystemExit(f"arcs: {error}")
+        if reference is None:
+            raise SystemExit(
+                f"arcs: {path} has no embedded reference profile; "
+                "re-save the artefact with a current 'arcs fit'"
+            )
+        return reference
+    if "models" in payload:
+        return _occupancy_from_stats(path, payload["models"], model_key)
+    raise SystemExit(
+        f"arcs: {path} is neither a BinArray .npz, a segmentation "
+        "artefact, nor a /stats capture"
+    )
+
+
+def _occupancy_from_stats(path: Path, entries, model_key: str | None):
+    """The traffic occupancy of one model entry in a ``/stats`` capture."""
+    from repro.data.summary import ReferenceProfile
+
+    if not isinstance(entries, dict) or not entries:
+        raise SystemExit(f"arcs: {path} captures no models")
+    if model_key is not None:
+        entry = entries.get(model_key)
+        if entry is None:
+            raise SystemExit(
+                f"arcs: no model {model_key!r} in {path}; captured "
+                f"{sorted(entries)}"
+            )
+    elif len(entries) == 1:
+        entry = next(iter(entries.values()))
+    else:
+        raise SystemExit(
+            f"arcs: {path} captures {len(entries)} models "
+            f"({', '.join(sorted(entries))}); pick one with --model"
+        )
+    try:
+        reference_block = entry["reference"]
+        recent = entry["recent"]
+        if not reference_block.get("available"):
+            raise SystemExit(
+                f"arcs: the {entry.get('model', '?')} capture in {path} "
+                "has no reference grid, so its traffic was never binned"
+            )
+        totals = recent.get("totals")
+        if totals is None or recent.get("points", 0) == 0:
+            raise SystemExit(
+                f"arcs: the {entry.get('model', '?')} capture in {path} "
+                "holds no binned traffic (empty windows)"
+            )
+        return ReferenceProfile(
+            x_attribute=entry["x_attribute"],
+            y_attribute=entry["y_attribute"],
+            x_edges=reference_block["x_edges"],
+            y_edges=reference_block["y_edges"],
+            totals=totals,
+            n_total=int(recent["points"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SystemExit(
+            f"arcs: {path} is not a usable /stats capture: {error!r}"
+        )
+
+
+def _command_drift(args: argparse.Namespace) -> int:
+    from repro.obs.drift import js_divergence, psi
+    from repro.viz.ascii import render_delta_grid
+
+    with RunCapture("cli.drift", config={
+        "reference": str(args.reference),
+        "observed": str(args.observed),
+    }) as capture:
+        reference = _load_occupancy(args.reference, args.model)
+        observed = _load_occupancy(args.observed, args.model)
+        if reference.totals.shape != observed.totals.shape:
+            raise SystemExit(
+                f"arcs: grids are incompatible: {args.reference} is "
+                f"{reference.totals.shape[0]}x"
+                f"{reference.totals.shape[1]}, {args.observed} is "
+                f"{observed.totals.shape[0]}x{observed.totals.shape[1]}"
+            )
+        edges_match = (
+            reference.x_edges.tolist() == observed.x_edges.tolist()
+            and reference.y_edges.tolist() == observed.y_edges.tolist()
+        )
+        try:
+            rows = [
+                (reference.x_attribute,
+                 psi(reference.x_counts, observed.x_counts),
+                 js_divergence(reference.x_counts, observed.x_counts)),
+                (reference.y_attribute,
+                 psi(reference.y_counts, observed.y_counts),
+                 js_divergence(reference.y_counts, observed.y_counts)),
+                ("joint",
+                 psi(reference.totals, observed.totals),
+                 js_divergence(reference.totals, observed.totals)),
+            ]
+        except ValueError as error:
+            raise SystemExit(f"arcs: {error}")
+
+    print(f"drift {args.reference} ({reference.n_total:,} tuples) -> "
+          f"{args.observed} ({observed.n_total:,} tuples)")
+    if not edges_match:
+        print("warning: bin edges differ between the snapshots; "
+              "per-cell comparison assumes matching grids")
+    print(f"\n{'attribute':>12}  {'PSI':>10}  {'JS (bits)':>10}")
+    for attribute, psi_value, js_value in rows:
+        print(f"{attribute:>12}  {psi_value:>10.4f}  {js_value:>10.4f}")
+    print()
+    print(render_delta_grid(
+        reference.totals, observed.totals,
+        x_label=reference.x_attribute, y_label=reference.y_attribute,
+        rel_tol=args.rel_tol,
+    ))
+    _emit_run_report(args, capture.report)
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "fit": _command_fit,
@@ -573,6 +752,7 @@ _COMMANDS = {
     "inspect": _command_inspect,
     "serve": _command_serve,
     "score": _command_score,
+    "drift": _command_drift,
 }
 
 

@@ -11,7 +11,10 @@ columns; cardinality and top values for categorical ones — and
 The same module owns the *bin-occupancy* statistics of a populated
 BinArray (:func:`profile_bin_array`), so the binner's occupancy gauges,
 the CLI's ``remine`` output and any ad-hoc inspection all share one
-implementation.
+implementation — and the serialisable :class:`ReferenceProfile` derived
+from the same grid (:func:`reference_profile`), which persistence embeds
+in the model artefact and the serving monitor scores live traffic
+against.
 """
 
 from __future__ import annotations
@@ -128,6 +131,117 @@ def profile_bin_array(bin_array) -> OccupancyProfile:
         mean_occupied_count=(
             float(totals.sum() / occupied) if occupied else 0.0
         ),
+    )
+
+
+@dataclass(frozen=True)
+class ReferenceProfile:
+    """Training occupancy distilled for drift scoring.
+
+    The joint per-cell tuple counts of a populated BinArray plus the
+    exact bin edges that produced them — everything the serving monitor
+    needs to re-bin live traffic into the *training* grid and compare
+    distributions, and small enough to embed in the model artefact.
+    Marginals are derived, not stored.
+    """
+
+    x_attribute: str
+    y_attribute: str
+    x_edges: np.ndarray
+    y_edges: np.ndarray
+    totals: np.ndarray
+    n_total: int
+
+    def __post_init__(self):
+        x_edges = np.asarray(self.x_edges, dtype=np.float64)
+        y_edges = np.asarray(self.y_edges, dtype=np.float64)
+        totals = np.asarray(self.totals, dtype=np.int64)
+        if x_edges.ndim != 1 or x_edges.size < 2:
+            raise ValueError("x_edges must be a 1-D array of >= 2 edges")
+        if y_edges.ndim != 1 or y_edges.size < 2:
+            raise ValueError("y_edges must be a 1-D array of >= 2 edges")
+        expected_shape = (x_edges.size - 1, y_edges.size - 1)
+        if totals.shape != expected_shape:
+            raise ValueError(
+                f"totals shape {totals.shape} does not match the edge "
+                f"grid {expected_shape}"
+            )
+        if int(self.n_total) < 0:
+            raise ValueError("n_total must be non-negative")
+        for array in (x_edges, y_edges, totals):
+            array.flags.writeable = False
+        object.__setattr__(self, "x_edges", x_edges)
+        object.__setattr__(self, "y_edges", y_edges)
+        object.__setattr__(self, "totals", totals)
+        object.__setattr__(self, "n_total", int(self.n_total))
+
+    @property
+    def n_x(self) -> int:
+        return self.totals.shape[0]
+
+    @property
+    def n_y(self) -> int:
+        return self.totals.shape[1]
+
+    @property
+    def x_counts(self) -> np.ndarray:
+        """Marginal tuple counts per x bin."""
+        return self.totals.sum(axis=1)
+
+    @property
+    def y_counts(self) -> np.ndarray:
+        """Marginal tuple counts per y bin."""
+        return self.totals.sum(axis=0)
+
+    def occupancy(self) -> OccupancyProfile:
+        return profile_bin_array(self)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (embedded in model artefacts)."""
+        return {
+            "x_attribute": self.x_attribute,
+            "y_attribute": self.y_attribute,
+            "x_edges": [float(edge) for edge in self.x_edges],
+            "y_edges": [float(edge) for edge in self.y_edges],
+            "totals": [
+                [int(count) for count in row] for row in self.totals
+            ],
+            "n_total": self.n_total,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReferenceProfile":
+        """Inverse of :meth:`to_dict`; raises :class:`ValueError` on a
+        malformed payload."""
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"reference profile must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        try:
+            return cls(
+                x_attribute=str(payload["x_attribute"]),
+                y_attribute=str(payload["y_attribute"]),
+                x_edges=np.asarray(payload["x_edges"], dtype=np.float64),
+                y_edges=np.asarray(payload["y_edges"], dtype=np.float64),
+                totals=np.asarray(payload["totals"], dtype=np.int64),
+                n_total=int(payload["n_total"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"malformed reference profile: {exc}"
+            ) from exc
+
+
+def reference_profile(bin_array) -> ReferenceProfile:
+    """Distil a populated BinArray into a :class:`ReferenceProfile`."""
+    return ReferenceProfile(
+        x_attribute=bin_array.x_layout.attribute,
+        y_attribute=bin_array.y_layout.attribute,
+        x_edges=np.array(bin_array.x_layout.edges, dtype=np.float64),
+        y_edges=np.array(bin_array.y_layout.edges, dtype=np.float64),
+        totals=np.array(bin_array.totals, dtype=np.int64),
+        n_total=int(bin_array.n_total),
     )
 
 

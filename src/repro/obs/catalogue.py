@@ -70,24 +70,30 @@ METRICS: dict[str, tuple[str, str]] = {
     'serve.compile_seconds':
         ('histogram',
          'wall-clock per scorer compilation'),
+    'serve.coverage_fraction{model}':
+        ('gauge',
+         'fraction of recently scored points inside any rule rectangle, per model'),
+    'serve.drift_js{attr,model}':
+        ('gauge',
+         'Jensen-Shannon divergence (bits) between training occupancy and recent traffic, per LHS attribute (plus `joint`) and model'),
+    'serve.drift_psi{attr,model}':
+        ('gauge',
+         'Population Stability Index between training occupancy and recent traffic, per LHS attribute (plus `joint`) and model'),
     'serve.models_loaded':
         ('gauge',
          'models currently resolvable in the registry'),
+    'serve.out_of_range{attr,model}':
+        ('gauge',
+         'fraction of recently scored points outside the trained bin range, per LHS attribute and model'),
     'serve.reload_errors':
         ('counter',
          'artefacts that failed to reload (previous version kept)'),
     'serve.reloads':
         ('counter',
          'registry refreshes that changed the model set'),
-    'serve.request_errors':
-        ('counter',
-         'requests answered with a 4xx/5xx status (deprecated unlabeled twin of `serve.request_errors{endpoint}`)'),
     'serve.request_errors{endpoint}':
         ('counter',
          'requests answered with a 4xx/5xx status, labeled by endpoint'),
-    'serve.request_seconds':
-        ('histogram',
-         'wall-clock per request (deprecated unlabeled twin of `serve.request_seconds{endpoint}`)'),
     'serve.request_seconds{endpoint}':
         ('histogram',
          'wall-clock per request, labeled by endpoint'),
@@ -96,7 +102,7 @@ METRICS: dict[str, tuple[str, str]] = {
          'HTTP requests dispatched (all endpoints)'),
     'serve.requests_{endpoint}':
         ('counter',
-         'requests per endpoint (`predict`, `predict_batch`, `explain`, `models`, `healthz`, `metrics`, `profile`)'),
+         'requests per endpoint (`predict`, `predict_batch`, `explain`, `models`, `healthz`, `metrics`, `stats`, `profile`)'),
     'serve.scorer_cache_hits':
         ('counter',
          '`compile_scorer` LRU cache hits'),
@@ -135,6 +141,8 @@ SPANS: dict[str, str] = {
         'BitOp rectangle enumeration and greedy cover',
     'cli.describe':
         'the `arcs describe` command (load + profile)',
+    'cli.drift':
+        'the `arcs drift` command (occupancy snapshot comparison)',
     'cli.inspect':
         'the `arcs inspect` command (load + optional evaluation)',
     'cli.remine':

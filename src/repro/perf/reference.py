@@ -191,6 +191,86 @@ def score_batch_scalar(segmentation: Segmentation, x_values,
     return out
 
 
+def psi_scalar(expected, observed) -> float:
+    """Per-bin PSI: the drift oracle for :func:`repro.obs.drift.psi`.
+
+    Bit-identity notes: per-bin terms are computed with Python scalar
+    arithmetic plus scalar ``np.log`` (which matches numpy's vectorised
+    log elementwise, unlike ``math.log``), and the final reduction is
+    ``np.sum`` over the term array so the summation *order* matches the
+    vectorised path (numpy's pairwise summation differs from a naive
+    left-to-right loop on large inputs).
+    """
+    from repro.obs.drift import PSI_EPSILON
+
+    expected = np.asarray(expected, dtype=np.float64).ravel()
+    observed = np.asarray(observed, dtype=np.float64).ravel()
+    for side, values in (("expected", expected), ("observed", observed)):
+        if values.size == 0:
+            raise ValueError(f"{side} distribution has no bins")
+        if any(value < 0 for value in values.tolist()):
+            raise ValueError(f"{side} distribution has negative counts")
+    if expected.size != observed.size:
+        raise ValueError(
+            f"distributions have different bin counts: {expected.size} "
+            f"vs {observed.size}"
+        )
+    expected_total = float(np.sum(expected))
+    observed_total = float(np.sum(observed))
+    if expected_total <= 0.0:
+        raise ValueError("expected distribution is empty (all counts zero)")
+    if observed_total <= 0.0:
+        raise ValueError("observed distribution is empty (all counts zero)")
+    terms = np.empty(expected.size, dtype=np.float64)
+    for index in range(expected.size):
+        p = max(float(expected[index]) / expected_total, PSI_EPSILON)
+        q = max(float(observed[index]) / observed_total, PSI_EPSILON)
+        terms[index] = (q - p) * np.log(q / p)
+    return float(np.sum(terms))
+
+
+def js_divergence_scalar(expected, observed) -> float:
+    """Per-bin Jensen-Shannon divergence (bits): oracle for
+    :func:`repro.obs.drift.js_divergence`.
+
+    Same bit-identity discipline as :func:`psi_scalar`: scalar per-bin
+    terms (zero where the side's probability is zero, mirroring the
+    ``0 * log 0`` limit), ``np.sum`` reductions in the same order as the
+    vectorised implementation.
+    """
+    expected = np.asarray(expected, dtype=np.float64).ravel()
+    observed = np.asarray(observed, dtype=np.float64).ravel()
+    for side, values in (("expected", expected), ("observed", observed)):
+        if values.size == 0:
+            raise ValueError(f"{side} distribution has no bins")
+        if any(value < 0 for value in values.tolist()):
+            raise ValueError(f"{side} distribution has negative counts")
+    if expected.size != observed.size:
+        raise ValueError(
+            f"distributions have different bin counts: {expected.size} "
+            f"vs {observed.size}"
+        )
+    expected_total = float(np.sum(expected))
+    observed_total = float(np.sum(observed))
+    if expected_total <= 0.0:
+        raise ValueError("expected distribution is empty (all counts zero)")
+    if observed_total <= 0.0:
+        raise ValueError("observed distribution is empty (all counts zero)")
+    n_bins = expected.size
+    p_terms = np.zeros(n_bins, dtype=np.float64)
+    q_terms = np.zeros(n_bins, dtype=np.float64)
+    for index in range(n_bins):
+        p = float(expected[index]) / expected_total
+        q = float(observed[index]) / observed_total
+        midpoint = 0.5 * (p + q)
+        if p > 0.0:
+            p_terms[index] = p * np.log(p / midpoint)
+        if q > 0.0:
+            q_terms[index] = q * np.log(q / midpoint)
+    nats = 0.5 * float(np.sum(p_terms)) + 0.5 * float(np.sum(q_terms))
+    return nats / float(np.log(2.0))
+
+
 def row_bitmaps_scalar(cells: np.ndarray) -> list[int]:
     """Per-cell row-mask construction: OR ``1 << j`` per set cell.
 

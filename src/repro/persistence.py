@@ -28,6 +28,7 @@ from repro.binning.categorical import CategoricalEncoding
 from repro.binning.strategies import BinLayout
 from repro.core.rules import ClusteredRule, GridRect, Interval
 from repro.core.segmentation import Segmentation
+from repro.data.summary import ReferenceProfile, reference_profile
 
 SEGMENTATION_FORMAT = "arcs-segmentation/1"
 BINARRAY_FORMAT = "arcs-binarray/1"
@@ -93,14 +94,25 @@ def _rule_from_dict(data: dict) -> ClusteredRule:
 
 
 def save_segmentation(segmentation: Segmentation,
-                      path: str | Path) -> None:
+                      path: str | Path, *,
+                      bin_array: BinArray | None = None,
+                      reference: ReferenceProfile | None = None) -> None:
     """Write a segmentation to ``path`` as versioned JSON.
 
     Alongside the rules, the artefact records provenance metadata
     (``library_version``, ``created_unix``) for registries and
     inspection tools; loaders tolerate its absence so pre-metadata
     artefacts keep loading.
+
+    When the training ``bin_array`` (or a pre-distilled ``reference``
+    profile) is supplied, its occupancy grid is embedded as a
+    ``reference_profile`` block so the serving layer can score live
+    traffic drift against the training distribution
+    (:func:`segmentation_reference`).  Old artefacts without the block
+    keep loading; serving then reports drift as unavailable.
     """
+    if reference is None and bin_array is not None:
+        reference = reference_profile(bin_array)
     payload = {
         "format": SEGMENTATION_FORMAT,
         "metadata": {
@@ -113,6 +125,8 @@ def save_segmentation(segmentation: Segmentation,
         "rhs_value": segmentation.rhs_value,
         "rules": [_rule_to_dict(rule) for rule in segmentation.rules],
     }
+    if reference is not None:
+        payload["reference_profile"] = reference.to_dict()
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
 
@@ -140,6 +154,26 @@ def segmentation_metadata(path: str | Path) -> dict:
     """
     metadata = _read_segmentation_payload(path).get("metadata", {})
     return dict(metadata) if isinstance(metadata, dict) else {}
+
+
+def segmentation_reference(path: str | Path) -> ReferenceProfile | None:
+    """The training reference profile embedded in a segmentation
+    artefact, or ``None`` for artefacts saved without one.
+
+    Validates the format tag like :func:`load_segmentation`; a present
+    but malformed ``reference_profile`` block raises
+    :class:`PersistenceError` rather than silently disabling drift.
+    """
+    payload = _read_segmentation_payload(path)
+    block = payload.get("reference_profile")
+    if block is None:
+        return None
+    try:
+        return ReferenceProfile.from_dict(block)
+    except ValueError as error:
+        raise PersistenceError(
+            f"{path} has a malformed reference_profile block: {error}"
+        ) from error
 
 
 def load_segmentation(path: str | Path) -> Segmentation:

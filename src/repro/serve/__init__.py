@@ -15,14 +15,19 @@ that missing half, in three layers:
   :mod:`repro.perf.reference`;
 * :mod:`repro.serve.service` / :mod:`repro.serve.app` — a stdlib-only
   threaded HTTP service (``/predict``, ``/predict_batch``, ``/explain``,
-  ``/models``, ``/healthz``, ``/metrics``) instrumented through
-  :mod:`repro.obs`.
+  ``/models``, ``/healthz``, ``/metrics``, ``/stats``) instrumented
+  through :mod:`repro.obs`;
+* :mod:`repro.serve.monitor` — per-model :class:`TrafficMonitor` s that
+  re-bin scored traffic into the training grid and score drift
+  (PSI / Jensen-Shannon) against the artefact's reference profile,
+  surfaced via ``GET /stats``, drift gauges and threshold events.
 
 CLI: ``arcs serve <model-dir>`` and ``arcs score <model> --input csv``.
 Full reference: ``docs/serving.md``.
 """
 
 from repro.serve.app import create_server, run_server
+from repro.serve.monitor import TrafficMonitor, TrafficMonitors
 from repro.serve.registry import (
     ModelDirectoryError,
     ModelNotFoundError,
@@ -51,6 +56,8 @@ __all__ = [
     "ScoringError",
     "ServedModel",
     "ServiceError",
+    "TrafficMonitor",
+    "TrafficMonitors",
     "compile_scorer",
     "create_server",
     "run_server",

@@ -16,6 +16,11 @@ from __future__ import annotations
 import logging
 from pathlib import Path
 
+from repro.serve.monitor import (
+    DEFAULT_WINDOW_COUNT,
+    DEFAULT_WINDOW_SECONDS,
+    TrafficMonitors,
+)
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import PredictionServer, PredictionService
 
@@ -26,16 +31,25 @@ __all__ = ["create_server", "run_server"]
 
 def create_server(model_dir: str | Path, host: str = "127.0.0.1",
                   port: int = 8799,
-                  refresh_interval: float = 1.0) -> PredictionServer:
+                  refresh_interval: float = 1.0,
+                  window_seconds: float = DEFAULT_WINDOW_SECONDS,
+                  window_count: int = DEFAULT_WINDOW_COUNT,
+                  ) -> PredictionServer:
     """Build a ready-to-serve :class:`PredictionServer`.
 
     The registry load is strict: an invalid artefact in ``model_dir``
     fails startup loudly rather than serving a partial catalogue.
+    ``window_seconds``/``window_count`` configure the traffic monitor's
+    tumbling drift windows behind ``GET /stats``.
     """
     registry = ModelRegistry(
         model_dir, refresh_interval=refresh_interval
     ).load()
-    service = PredictionService(registry)
+    service = PredictionService(
+        registry,
+        monitors=TrafficMonitors(window_seconds=window_seconds,
+                                 window_count=window_count),
+    )
     server = PredictionServer((host, port), service)
     logger.info(
         "prediction server bound to %s serving %d model(s) from %s",

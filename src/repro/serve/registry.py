@@ -35,11 +35,13 @@ from pathlib import Path
 from time import perf_counter
 
 from repro.core.segmentation import Segmentation
+from repro.data.summary import ReferenceProfile
 from repro.obs import metrics
 from repro.persistence import (
     PersistenceError,
     load_segmentation,
     segmentation_metadata,
+    segmentation_reference,
 )
 
 logger = logging.getLogger(__name__)
@@ -81,6 +83,9 @@ class ServedModel:
     metadata: dict          # {"library_version", "created_unix"} if saved
     loaded_at: float        # wall-clock, for /models display
     fingerprint: tuple = field(repr=False)  # (mtime_ns, size) staleness key
+    #: Training occupancy for drift scoring; None for artefacts saved
+    #: before reference profiles existed (drift then reads unavailable).
+    reference: ReferenceProfile | None = field(default=None, repr=False)
 
     def describe(self) -> dict:
         """The JSON-ready ``/models`` entry for this model."""
@@ -96,6 +101,7 @@ class ServedModel:
             "n_rules": len(segmentation),
             "loaded_at": self.loaded_at,
             "metadata": dict(self.metadata),
+            "reference_profile": self.reference is not None,
         }
 
 
@@ -114,6 +120,7 @@ def _load_model(path: Path) -> ServedModel:
         metadata=segmentation_metadata(path),
         loaded_at=time.time(),  # wall-clock: ok (display timestamp)
         fingerprint=_fingerprint(path),
+        reference=segmentation_reference(path),
     )
 
 

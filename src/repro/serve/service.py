@@ -18,11 +18,20 @@ Endpoints::
     GET  /models         registry listing with artefact metadata
     GET  /metrics        process metrics (JSON, or Prometheus text via
                          ?format=prometheus / an Accept: text/plain)
+    GET  /stats          model observability: windowed traffic drift
+                         (PSI + JS per attribute), segment coverage and
+                         out-of-range fractions per model
     GET  /debug/profile  sample the process for ?seconds=N, return
                          collapsed (flamegraph) stacks
     POST /predict        {"model", "x", "y"} -> segment membership
     POST /predict_batch  {"model", "x": [...], "y": [...]} -> arrays
     POST /explain        {"model", "x", "y"} -> the rule that fired
+
+Every successfully scored input is also fed to the per-model
+:class:`~repro.serve.monitor.TrafficMonitor`, which re-bins it into the
+model's training grid and maintains the drift/coverage state behind
+``/stats`` (see ``docs/observability.md``).  Monitor bookkeeping never
+fails a prediction: recording errors are logged and swallowed.
 
 Models resolve by content-hash id or by name; resolution triggers the
 registry's rate-limited hot-reload check, and an in-flight request
@@ -51,6 +60,7 @@ from repro.obs.profiler import profile_for
 from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from repro.obs.prometheus import render_registry
 from repro.obs.tracing import Span
+from repro.serve.monitor import TrafficMonitors
 from repro.serve.registry import ModelRegistry, ServedModel
 from repro.serve.scorer import ScoringError, compile_scorer
 
@@ -134,11 +144,17 @@ class PredictionService:
     """Endpoint logic over a :class:`ModelRegistry` (transport-free)."""
 
     def __init__(self, registry: ModelRegistry,
-                 recent_span_limit: int = 64):
+                 recent_span_limit: int = 64,
+                 monitors: TrafficMonitors | None = None):
         self.registry = registry
         self.started = perf_counter()
         #: Per-request root spans when tracing is enabled (ring buffer).
         self.recent_spans: deque[Span] = deque(maxlen=recent_span_limit)
+        #: Per-model traffic monitors behind /stats (injectable for
+        #: tests that need a fake clock or tighter windows).
+        self.monitors = (
+            monitors if monitors is not None else TrafficMonitors()
+        )
 
     # ------------------------------------------------------------------
     # Model resolution
@@ -204,10 +220,25 @@ class PredictionService:
         collapsed = profile_for(min(seconds, MAX_PROFILE_SECONDS))
         return TextResponse(collapsed or "# no samples collected\n")
 
+    def stats(self, payload: dict | None = None) -> dict:
+        """Model observability: drift, coverage and out-of-range state
+        per served model over the monitor's tumbling windows."""
+        self.registry.maybe_refresh()
+        served = self.registry.models()
+        self.monitors.prune({model.model_id for model in served})
+        return {
+            "uptime_seconds": perf_counter() - self.started,
+            "models": {
+                model.name: self.monitors.for_model(model).stats()
+                for model in served
+            },
+        }
+
     def predict(self, payload: dict) -> dict:
         model = self._resolve(payload)
         x, y = _number(payload, "x"), _number(payload, "y")
         index = self._score_one(model, x, y)
+        self._record_traffic(model, (x,), (y,), (index,))
         return self._prediction(model, index)
 
     @staticmethod
@@ -235,6 +266,7 @@ class PredictionService:
             indices = compile_scorer(model.segmentation).score_batch(x, y)
         except ScoringError as error:  # NaN in the batch
             raise ServiceError(400, str(error)) from None
+        self._record_traffic(model, x, y, indices)
         return {
             "model": model.model_id,
             "name": model.name,
@@ -247,6 +279,7 @@ class PredictionService:
         model = self._resolve(payload)
         x, y = _number(payload, "x"), _number(payload, "y")
         index = self._score_one(model, x, y)
+        self._record_traffic(model, (x,), (y,), (index,))
         response = self._prediction(model, index)
         if index >= 0:
             rule = model.segmentation.rules[index]
@@ -269,6 +302,22 @@ class PredictionService:
             return compile_scorer(model.segmentation).score(x, y)
         except ScoringError as error:  # NaN input
             raise ServiceError(400, str(error)) from None
+
+    def _record_traffic(self, model: ServedModel, x_values, y_values,
+                        rule_indices) -> None:
+        """Feed a scored request to the model's traffic monitor.
+
+        Monitoring is bookkeeping: a failure here is logged and
+        swallowed so it can never turn a served prediction into a 500.
+        """
+        try:
+            self.monitors.for_model(model).record(
+                x_values, y_values, rule_indices
+            )
+        except Exception:
+            logger.exception(
+                "traffic monitor recording failed for %s", model.name
+            )
 
     # ------------------------------------------------------------------
     # Instrumented dispatch (shared by HTTP and tests)
@@ -322,10 +371,8 @@ class PredictionService:
                 )
             finally:
                 if status >= 400:
-                    metrics.inc("serve.request_errors")
                     metrics.inc("serve.request_errors",
                                 labels={"endpoint": endpoint})
-                metrics.observe("serve.request_seconds", elapsed)
                 metrics.observe("serve.request_seconds", elapsed,
                                 labels={"endpoint": endpoint})
 
@@ -336,6 +383,7 @@ _ENDPOINTS = {
     "healthz": PredictionService.healthz,
     "models": PredictionService.models,
     "metrics": PredictionService.metrics_snapshot,
+    "stats": PredictionService.stats,
     "profile": PredictionService.profile,
     "predict": PredictionService.predict,
     "predict_batch": PredictionService.predict_batch,
@@ -346,6 +394,7 @@ _GET_ROUTES = {
     "/healthz": "healthz",
     "/models": "models",
     "/metrics": "metrics",
+    "/stats": "stats",
     "/debug/profile": "profile",
 }
 

@@ -5,17 +5,26 @@ upward, the x attribute (age) grows rightward.  Set cells print as ``#``,
 clear cells as ``.``, and cells inside a cluster rectangle are marked
 ``o`` (or ``@`` when the cell is also set) so cluster outlines are visible
 against the rule mass.
+
+:func:`render_delta_grid` reuses the same orientation for occupancy
+*drift*: given two count grids over the same bins it marks where the
+observed distribution grew (``+``), shrank (``-``) or held steady
+(``.``), which is how ``arcs drift`` shows *where* a PSI score comes
+from.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.grid import RuleGrid
 from repro.core.rules import GridRect
 
 SET, CLEAR = "#", "."
 IN_CLUSTER_SET, IN_CLUSTER_CLEAR = "@", "o"
+GREW, SHRANK, STEADY, EMPTY = "+", "-", ".", " "
 
 
 def render_grid(grid: RuleGrid, clusters: Sequence[GridRect] = (),
@@ -32,6 +41,54 @@ def render_grid(grid: RuleGrid, clusters: Sequence[GridRect] = (),
                 row_chars.append(IN_CLUSTER_CLEAR if inside else CLEAR)
         lines.append("  | " + "".join(row_chars))
     lines.append("  +-" + "-" * grid.n_x + f"> {x_label}")
+    return "\n".join(lines)
+
+
+def render_delta_grid(reference, observed, x_label: str = "x",
+                      y_label: str = "y",
+                      rel_tol: float = 0.25) -> str:
+    """Render the per-cell shift between two occupancy grids.
+
+    Both arguments are count grids of the same shape (``n_x`` by
+    ``n_y``); each is normalised to a probability distribution and the
+    cells are marked ``+`` where the observed share grew, ``-`` where it
+    shrank, ``.`` where it held steady and blank where both sides are
+    empty.  A shift counts as grown/shrunk when the share change
+    exceeds ``rel_tol`` of the two shares' combined mass, so uniform
+    noise on small counts does not light up the whole grid.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    observed = np.asarray(observed, dtype=np.float64)
+    if reference.ndim != 2 or observed.ndim != 2:
+        raise ValueError("delta grids must be 2-D count arrays")
+    if reference.shape != observed.shape:
+        raise ValueError(
+            f"grid shapes differ: {reference.shape} vs {observed.shape}"
+        )
+    if rel_tol < 0:
+        raise ValueError("rel_tol must be non-negative")
+    reference_total = reference.sum()
+    observed_total = observed.sum()
+    p = reference / reference_total if reference_total > 0 \
+        else np.zeros_like(reference)
+    q = observed / observed_total if observed_total > 0 \
+        else np.zeros_like(observed)
+    n_x, n_y = reference.shape
+    lines = [f"{y_label} ^"]
+    for j in range(n_y - 1, -1, -1):
+        row_chars = []
+        for i in range(n_x):
+            mass = p[i, j] + q[i, j]
+            if mass == 0.0:
+                row_chars.append(EMPTY)
+            elif abs(q[i, j] - p[i, j]) <= rel_tol * mass:
+                row_chars.append(STEADY)
+            elif q[i, j] > p[i, j]:
+                row_chars.append(GREW)
+            else:
+                row_chars.append(SHRANK)
+        lines.append("  | " + "".join(row_chars))
+    lines.append("  +-" + "-" * n_x + f"> {x_label}")
     return "\n".join(lines)
 
 

@@ -370,3 +370,135 @@ class TestFailurePaths:
     def test_no_command_is_usage_error(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestDrift:
+    @pytest.fixture()
+    def snapshots(self, dataset, tmp_path):
+        seg_path = tmp_path / "seg.json"
+        bins_path = tmp_path / "bins.npz"
+        assert main([
+            "fit", str(dataset),
+            "--x", "age", "--y", "salary",
+            "--rhs", "group", "--target", "A",
+            "--bins", "25",
+            "--support-levels", "5", "--confidence-levels", "4",
+            "--save-segmentation", str(seg_path),
+            "--save-binarray", str(bins_path),
+        ]) == 0
+        return seg_path, bins_path
+
+    def test_segmentation_vs_binarray(self, snapshots, capsys):
+        seg_path, bins_path = snapshots
+        code = main(["drift", str(seg_path), str(bins_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PSI" in out and "JS (bits)" in out
+        for attribute in ("age", "salary", "joint"):
+            assert attribute in out
+        # The two snapshots describe the same training data: every
+        # divergence row is (numerically) zero.
+        assert out.count("0.0000") >= 6
+        # The ASCII delta grid rides along, in grid orientation.
+        assert "> age" in out
+        assert "salary ^" in out
+
+    def test_detects_a_shifted_snapshot(self, snapshots, dataset,
+                                        tmp_path, capsys):
+        seg_path, _ = snapshots
+        skewed_bins = tmp_path / "skewed.npz"
+        # Re-fit on a different generated dataset: different seed,
+        # different mass placement.
+        skewed_csv = tmp_path / "skewed.csv"
+        assert main([
+            "generate", str(skewed_csv),
+            "--tuples", "4000", "--seed", "99",
+        ]) == 0
+        assert main([
+            "fit", str(skewed_csv),
+            "--x", "age", "--y", "salary",
+            "--rhs", "group", "--target", "A",
+            "--bins", "25",
+            "--support-levels", "5", "--confidence-levels", "4",
+            "--save-binarray", str(skewed_bins),
+        ]) == 0
+        code = main(["drift", str(seg_path), str(skewed_bins)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "joint" in out
+
+    def test_stats_capture_as_observed_side(self, snapshots, tmp_path,
+                                            capsys):
+        import numpy as np
+
+        from repro.serve import ModelRegistry, PredictionService
+
+        seg_path, _ = snapshots
+        model_dir = tmp_path / "models"
+        model_dir.mkdir()
+        (model_dir / "traffic.json").write_text(seg_path.read_text())
+        service = PredictionService(
+            ModelRegistry(model_dir, refresh_interval=0).load()
+        )
+        rng = np.random.default_rng(3)
+        service.predict_batch({
+            "model": "traffic",
+            "x": rng.uniform(20, 80, 100).tolist(),
+            "y": rng.uniform(20_000, 140_000, 100).tolist(),
+        })
+        status, body = service.dispatch("stats", None)
+        assert status == 200
+        capture_path = tmp_path / "stats.json"
+        capture_path.write_text(json.dumps(body))
+        code = main(["drift", str(seg_path), str(capture_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "100 tuples" in out
+        assert "joint" in out
+
+    def test_model_flag_required_for_multi_model_captures(
+            self, snapshots, tmp_path):
+        seg_path, _ = snapshots
+        capture = tmp_path / "stats.json"
+        capture.write_text(json.dumps({
+            "models": {"a": {}, "b": {}},
+        }))
+        with pytest.raises(SystemExit, match="--model"):
+            main(["drift", str(seg_path), str(capture)])
+
+    def test_rejects_artefact_without_reference(self, snapshots,
+                                                tmp_path):
+        from repro.core.rules import ClusteredRule, Interval
+        from repro.core.segmentation import Segmentation
+        from repro.persistence import save_segmentation
+
+        _, bins_path = snapshots
+        bare = tmp_path / "bare.json"
+        save_segmentation(Segmentation.from_rules([ClusteredRule(
+            "age", "salary", Interval(0, 1), Interval(0, 1),
+            "group", "A", support=0.1, confidence=0.9,
+        )]), bare)
+        with pytest.raises(SystemExit, match="no embedded reference"):
+            main(["drift", str(bare), str(bins_path)])
+
+    def test_rejects_mismatched_grids(self, snapshots, dataset,
+                                      tmp_path):
+        seg_path, _ = snapshots
+        other_bins = tmp_path / "other.npz"
+        assert main([
+            "fit", str(dataset),
+            "--x", "age", "--y", "salary",
+            "--rhs", "group", "--target", "A",
+            "--bins", "10",
+            "--support-levels", "5", "--confidence-levels", "4",
+            "--save-binarray", str(other_bins),
+        ]) == 0
+        with pytest.raises(SystemExit, match="incompatible"):
+            main(["drift", str(seg_path), str(other_bins)])
+
+    def test_rejects_non_snapshot_json(self, snapshots, tmp_path):
+        seg_path, _ = snapshots
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"hello": 1}')
+        with pytest.raises(SystemExit, match="neither"):
+            main(["drift", str(seg_path), str(bogus)])

@@ -1,0 +1,166 @@
+"""Tests for the drift divergences and traffic windows (repro.obs.drift)."""
+
+import numpy as np
+import pytest
+
+from repro.obs.drift import (
+    DEFAULT_PSI_ALERT,
+    PSI_EPSILON,
+    TrafficWindow,
+    js_divergence,
+    psi,
+)
+
+
+class TestPSI:
+    def test_identical_distributions_score_zero(self):
+        counts = np.array([5, 10, 20, 5])
+        assert psi(counts, counts) == 0.0
+        assert psi(counts, counts * 7) == 0.0  # scale-invariant
+
+    def test_known_value(self):
+        # Two bins, p = (0.5, 0.5), q = (0.9, 0.1):
+        # PSI = (0.9-0.5)ln(0.9/0.5) + (0.1-0.5)ln(0.1/0.5)
+        expected = (0.4 * np.log(0.9 / 0.5)
+                    + (-0.4) * np.log(0.1 / 0.5))
+        assert psi([50, 50], [90, 10]) == pytest.approx(expected)
+
+    def test_empty_bins_are_clipped_not_infinite(self):
+        value = psi([10, 0], [0, 10])
+        assert np.isfinite(value)
+        # The clip floor bounds the score: each bin contributes at most
+        # (1 - eps) * ln(1 / eps).
+        bound = 2 * (1.0 - PSI_EPSILON) * np.log(1.0 / PSI_EPSILON)
+        assert 0.0 < value <= bound
+
+    def test_symmetric_in_magnitude_of_shift(self):
+        # PSI is symmetric: swapping p and q gives the same score.
+        assert psi([70, 30], [30, 70]) == psi([30, 70], [70, 30])
+
+    def test_accepts_2d_grids(self):
+        grid = np.arange(12).reshape(3, 4)
+        assert psi(grid, grid) == 0.0
+        shifted = grid[::-1].copy()
+        assert psi(grid, shifted) == psi(grid.ravel(), shifted.ravel())
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError, match="no bins"):
+            psi([], [1])
+        with pytest.raises(ValueError, match="negative"):
+            psi([1, -1], [1, 1])
+        with pytest.raises(ValueError, match="empty"):
+            psi([0, 0], [1, 1])
+        with pytest.raises(ValueError, match="empty"):
+            psi([1, 1], [0, 0])
+        with pytest.raises(ValueError, match="different bin counts"):
+            psi([1, 1, 1], [1, 1])
+
+    def test_alert_threshold_is_the_folklore_level(self):
+        assert DEFAULT_PSI_ALERT == 0.2
+
+
+class TestJSDivergence:
+    def test_identical_distributions_score_zero(self):
+        counts = np.array([3, 1, 4, 1, 5])
+        assert js_divergence(counts, counts) == 0.0
+
+    def test_disjoint_distributions_hit_the_upper_bound(self):
+        # Disjoint supports give exactly 1 bit; no epsilon distortion.
+        assert js_divergence([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_bounded_and_symmetric(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            p = rng.integers(0, 50, 8)
+            q = rng.integers(0, 50, 8)
+            if p.sum() == 0 or q.sum() == 0:
+                continue
+            forward = js_divergence(p, q)
+            assert 0.0 <= forward <= 1.0
+            assert forward == pytest.approx(js_divergence(q, p))
+
+    def test_zero_bins_contribute_zero_not_nan(self):
+        value = js_divergence([10, 0, 5], [10, 5, 0])
+        assert np.isfinite(value)
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError, match="empty"):
+            js_divergence([0], [1])
+        with pytest.raises(ValueError, match="different bin counts"):
+            js_divergence([1, 1], [1])
+
+
+class TestTrafficWindow:
+    def test_empty_window(self):
+        window = TrafficWindow(4, 3, 2)
+        assert window.points == 0
+        assert window.requests == 0
+        assert window.fallback_points == 0
+        assert window.coverage_fraction is None
+        assert window.has_grid
+        assert window.totals.shape == (4, 3)
+
+    def test_accumulates_bins_rules_and_range_escapes(self):
+        window = TrafficWindow(4, 3, 2)
+        window.add(np.array([0, 1, 1, 3]), np.array([0, 2, 2, 1]),
+                   np.array([0, 1, -1, -1]), out_of_range_x=1,
+                   out_of_range_y=0)
+        assert window.requests == 1
+        assert window.points == 4
+        assert window.x_counts.tolist() == [1, 2, 0, 1]
+        assert window.y_counts.tolist() == [1, 1, 2]
+        assert window.totals[1, 2] == 2
+        assert window.totals.sum() == 4
+        assert window.rule_hits.tolist() == [2, 1, 1]
+        assert window.fallback_points == 2
+        assert window.coverage_fraction == pytest.approx(0.5)
+        assert window.out_of_range_x == 1
+
+    def test_rule_indices_clip_into_the_fallback_slot(self):
+        # Indices past the rule count (stale scorer) clip to the last
+        # slot rather than raising inside the serving path.
+        window = TrafficWindow(0, 0, 2)
+        window.add(None, None, np.array([-1, 0, 1, 99]))
+        assert window.rule_hits.tolist() == [1, 1, 2]
+
+    def test_gridless_window_tracks_coverage_only(self):
+        window = TrafficWindow(0, 0, 3)
+        assert not window.has_grid
+        window.add(None, None, np.array([2, -1]))
+        assert window.points == 2
+        assert window.coverage_fraction == pytest.approx(0.5)
+        assert window.x_counts is None
+
+    def test_copy_is_independent(self):
+        window = TrafficWindow(2, 2, 1, opened=5.0)
+        window.add(np.array([0]), np.array([1]), np.array([0]))
+        clone = window.copy()
+        window.add(np.array([1]), np.array([1]), np.array([-1]))
+        assert clone.points == 1
+        assert clone.opened == 5.0
+        assert clone.totals.sum() == 1
+        assert window.points == 2
+
+    def test_merged_sums_compatible_windows(self):
+        first = TrafficWindow(2, 2, 1, opened=10.0)
+        first.add(np.array([0]), np.array([0]), np.array([0]))
+        second = TrafficWindow(2, 2, 1, opened=3.0)
+        second.add(np.array([1, 1]), np.array([0, 1]),
+                   np.array([-1, 0]), out_of_range_x=1)
+        merged = TrafficWindow.merged([first, second])
+        assert merged.points == 3
+        assert merged.requests == 2
+        assert merged.opened == 3.0  # earliest open time wins
+        assert merged.rule_hits.tolist() == [1, 2]
+        assert merged.totals.sum() == 3
+        assert merged.out_of_range_x == 1
+        # Merging never mutates the inputs.
+        assert first.points == 1 and second.points == 2
+
+    def test_merged_rejects_mismatched_grids(self):
+        with pytest.raises(ValueError, match="different grids"):
+            TrafficWindow.merged(
+                [TrafficWindow(2, 2, 1), TrafficWindow(3, 2, 1)]
+            )
+        with pytest.raises(ValueError, match="zero windows"):
+            TrafficWindow.merged([])

@@ -301,6 +301,67 @@ class TestLabeledAndBucketedMetrics:
         assert list(snapshot["histograms"]) == ['seconds{endpoint="a"}']
 
 
+class TestHistogramEdgeCases:
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("seconds")
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["total"] == 0.0
+        assert summary["min"] is None and summary["max"] is None
+        assert summary["mean"] == 0.0
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 0.0
+        # Cumulative buckets exist (all zero) so exposition still works.
+        assert [count for _, count in summary["buckets"]] == \
+            [0] * len(summary["buckets"])
+
+    def test_single_observation_pins_every_quantile(self):
+        histogram = MetricsRegistry().histogram("seconds")
+        histogram.observe(0.42)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["min"] == summary["max"] == 0.42
+        for quantile in ("p50", "p95", "p99"):
+            assert summary[quantile] == pytest.approx(0.42)
+        assert histogram.quantile(0.0) == pytest.approx(0.42)
+        assert histogram.quantile(1.0) == pytest.approx(0.42)
+
+    def test_all_values_in_one_bucket_interpolate_within_range(self):
+        histogram = MetricsRegistry().histogram(
+            "seconds", buckets=(1.0, 10.0, 100.0)
+        )
+        for value in (4.0, 5.0, 6.0):  # all land in (1.0, 10.0]
+            histogram.observe(value)
+        assert histogram.bucket_counts == [0, 3, 0, 0]
+        # Interpolation is clamped to the observed min/max, not the
+        # bucket bounds, so estimates cannot leave [4, 6].
+        for q in (0.01, 0.5, 0.95, 0.99):
+            assert 4.0 <= histogram.quantile(q) <= 6.0
+        assert histogram.quantile(0.5) == pytest.approx(5.0, abs=1.0)
+
+    def test_observation_on_a_bucket_boundary_is_inclusive(self):
+        histogram = MetricsRegistry().histogram(
+            "seconds", buckets=(1.0, 2.0)
+        )
+        histogram.observe(1.0)  # value <= bound: first bucket
+        histogram.observe(2.5)  # beyond every bound: +Inf bucket
+        assert histogram.bucket_counts == [1, 0, 1]
+        cumulative = histogram.cumulative_buckets()
+        assert cumulative[-1] == (float("inf"), 2)
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = MetricsRegistry().histogram("seconds")
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("seconds", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("seconds", buckets=(1.0, 1.0))
+
+
 class TestRunReport:
     def _sample_report(self):
         obs.enable()

@@ -234,6 +234,62 @@ class TestRowBitmapEquivalence:
             RuleGrid.from_row_bitmaps([1 << 10], n_y=8)
 
 
+class TestDriftEquivalence:
+    """The /stats acceptance bar: vectorised PSI/JS vs scalar oracles,
+    exact equality (``==``), not approx."""
+
+    @pytest.mark.parametrize("n_bins", [1, 4, 50, 500, 2500])
+    def test_psi_bit_identical(self, n_bins):
+        from repro.obs.drift import psi
+
+        rng = np.random.default_rng(53)
+        expected = rng.integers(0, 1000, n_bins)
+        observed = rng.integers(0, 1000, n_bins)
+        expected[0] = observed[-1] = 1  # never all-zero
+        assert psi(expected, observed) == reference.psi_scalar(
+            expected, observed
+        )
+
+    @pytest.mark.parametrize("n_bins", [1, 4, 50, 500, 2500])
+    def test_js_bit_identical(self, n_bins):
+        from repro.obs.drift import js_divergence
+
+        rng = np.random.default_rng(59)
+        expected = rng.integers(0, 1000, n_bins)
+        observed = rng.integers(0, 1000, n_bins)
+        expected[0] = observed[-1] = 1
+        assert js_divergence(expected, observed) == \
+            reference.js_divergence_scalar(expected, observed)
+
+    def test_sparse_grids_with_empty_bins_identical(self):
+        from repro.obs.drift import js_divergence, psi
+
+        rng = np.random.default_rng(61)
+        # 2-D joint grids, mostly empty — the clip/zero-term paths.
+        expected = rng.integers(0, 5, (30, 40))
+        observed = np.where(rng.random((30, 40)) < 0.9, 0,
+                            rng.integers(1, 50, (30, 40)))
+        expected[0, 0] = observed[0, 0] = 1
+        assert psi(expected, observed) == reference.psi_scalar(
+            expected, observed
+        )
+        assert js_divergence(expected, observed) == \
+            reference.js_divergence_scalar(expected, observed)
+
+    def test_oracles_enforce_the_same_contract(self):
+        from repro.obs.drift import js_divergence, psi
+
+        for fast, slow in ((psi, reference.psi_scalar),
+                           (js_divergence,
+                            reference.js_divergence_scalar)):
+            for bad in (([], [1]), ([1, -2], [1, 1]),
+                        ([0, 0], [1, 1]), ([1, 1, 1], [1, 1])):
+                with pytest.raises(ValueError):
+                    fast(*bad)
+                with pytest.raises(ValueError):
+                    slow(*bad)
+
+
 class TestScorerEquivalence:
     def _segmentation(self, rng, n_rules=12):
         from repro.core.rules import ClusteredRule, Interval

@@ -7,6 +7,7 @@ from repro.binning import bin_table
 from repro.core.rules import ClusteredRule, GridRect, Interval
 from repro.core.segmentation import Segmentation
 from repro.mining.engine import rule_pairs
+from repro.data.summary import ReferenceProfile, reference_profile
 from repro.persistence import (
     PersistenceError,
     load_bin_array,
@@ -14,6 +15,7 @@ from repro.persistence import (
     save_bin_array,
     save_segmentation,
     segmentation_metadata,
+    segmentation_reference,
 )
 
 
@@ -171,3 +173,76 @@ class TestBinArrayRoundTrip:
         np.savez(path, stuff=np.zeros(3))
         with pytest.raises(PersistenceError):
             load_bin_array(path)
+
+
+class TestReferenceProfilePersistence:
+    def test_saved_bin_array_embeds_a_reference(self, segmentation,
+                                                f2_binner, tmp_path):
+        path = tmp_path / "seg.json"
+        bin_array = f2_binner.bin_array
+        save_segmentation(segmentation, path, bin_array=bin_array)
+        reference = segmentation_reference(path)
+        assert reference is not None
+        assert reference.x_attribute == "age"
+        assert reference.n_total == int(bin_array.totals.sum())
+        assert np.array_equal(reference.totals, bin_array.totals)
+        assert np.array_equal(reference.x_edges,
+                              bin_array.x_layout.edges)
+        # The artefact itself still loads as a plain segmentation.
+        assert len(load_segmentation(path)) == len(segmentation)
+
+    def test_explicit_reference_wins_over_bin_array(self, segmentation,
+                                                    f2_binner, tmp_path):
+        path = tmp_path / "seg.json"
+        distilled = reference_profile(f2_binner.bin_array)
+        save_segmentation(segmentation, path, reference=distilled)
+        restored = segmentation_reference(path)
+        assert np.array_equal(restored.totals, distilled.totals)
+
+    def test_absent_reference_is_tolerated(self, segmentation,
+                                           tmp_path):
+        path = tmp_path / "seg.json"
+        save_segmentation(segmentation, path)
+        assert segmentation_reference(path) is None
+
+    def test_malformed_reference_block_raises(self, segmentation,
+                                              tmp_path):
+        import json as json_module
+
+        path = tmp_path / "seg.json"
+        save_segmentation(segmentation, path)
+        payload = json_module.loads(path.read_text())
+        payload["reference_profile"] = {"x_attribute": "age"}
+        path.write_text(json_module.dumps(payload))
+        with pytest.raises(PersistenceError, match="malformed"):
+            segmentation_reference(path)
+
+    def test_profile_dict_round_trip(self, f2_binner):
+        profile = reference_profile(f2_binner.bin_array)
+        restored = ReferenceProfile.from_dict(profile.to_dict())
+        assert restored.x_attribute == profile.x_attribute
+        assert np.array_equal(restored.totals, profile.totals)
+        assert np.array_equal(restored.y_edges, profile.y_edges)
+        assert restored.n_total == profile.n_total
+
+    def test_profile_marginals_and_occupancy(self, f2_binner):
+        profile = reference_profile(f2_binner.bin_array)
+        assert np.array_equal(profile.x_counts,
+                              profile.totals.sum(axis=1))
+        assert np.array_equal(profile.y_counts,
+                              profile.totals.sum(axis=0))
+        occupancy = profile.occupancy()
+        assert occupancy.n_tuples == profile.n_total
+        assert 0.0 < occupancy.occupancy_fraction <= 1.0
+        # Snapshot arrays are frozen: serving threads share them.
+        with pytest.raises(ValueError):
+            profile.totals[0, 0] = 99
+
+    def test_profile_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ReferenceProfile(
+                x_attribute="x", y_attribute="y",
+                x_edges=np.array([0.0, 1.0, 2.0]),
+                y_edges=np.array([0.0, 1.0]),
+                totals=np.ones((3, 3)), n_total=9,
+            )

@@ -8,14 +8,22 @@ import urllib.request
 import numpy as np
 import pytest
 
+from repro.binning.bin_array import BinArray
+from repro.binning.categorical import CategoricalEncoding
+from repro.binning.strategies import BinLayout
 from repro.core.rules import ClusteredRule, Interval
 from repro.core.segmentation import Segmentation
-from repro.perf.reference import score_batch_scalar
-from repro.persistence import save_segmentation
+from repro.perf.reference import (
+    js_divergence_scalar,
+    psi_scalar,
+    score_batch_scalar,
+)
+from repro.persistence import save_segmentation, segmentation_reference
 from repro.serve import (
     ModelRegistry,
     PredictionService,
     ServiceError,
+    TrafficMonitors,
     compile_scorer,
     create_server,
     scorer_cache_clear,
@@ -302,8 +310,10 @@ class TestPredictionService:
             metrics_mod.disable()
         assert snapshot["counters"]["serve.requests"] == 2
         assert snapshot["counters"]["serve.requests_predict"] == 2
-        assert snapshot["counters"]["serve.request_errors"] == 1
-        assert snapshot["histograms"]["serve.request_seconds"]["count"] == 2
+        assert snapshot["counters"][
+            'serve.request_errors{endpoint="predict"}'] == 1
+        assert snapshot["histograms"][
+            'serve.request_seconds{endpoint="predict"}']["count"] == 2
 
     def test_dispatch_records_labeled_series_per_endpoint(self, service):
         from repro.obs import metrics as metrics_mod
@@ -320,11 +330,11 @@ class TestPredictionService:
             "count"] == 1
         assert histograms['serve.request_seconds{endpoint="predict"}'][
             "count"] == 1
-        # The deprecated unlabeled twins keep accumulating the totals.
-        assert histograms["serve.request_seconds"]["count"] == 2
         assert snapshot["counters"][
             'serve.request_errors{endpoint="predict"}'] == 1
-        assert snapshot["counters"]["serve.request_errors"] == 1
+        # The deprecated unlabeled twins are gone: only labeled series.
+        assert "serve.request_seconds" not in histograms
+        assert "serve.request_errors" not in snapshot["counters"]
 
     def test_metrics_endpoint_renders_prometheus(self, service):
         from repro.obs import metrics as metrics_mod
@@ -399,10 +409,12 @@ class TestPredictionService:
             tracing.disable()
             metrics_mod.disable()
         assert status == 200 and body["status"] == "ok"
-        assert snapshot["histograms"]["serve.request_seconds"]["count"] == 1
         assert snapshot["histograms"][
             'serve.request_seconds{endpoint="healthz"}']["count"] == 1
-        assert "serve.request_errors" not in snapshot["counters"]
+        assert not any(
+            name.startswith("serve.request_errors")
+            for name in snapshot["counters"]
+        )
 
     def test_dispatch_records_request_spans_when_tracing(self, service):
         from repro.obs import tracing
@@ -581,3 +593,320 @@ class TestHTTPServer:
         assert len(results) == 8
         assert all(status == 200 and body["in_segment"]
                    for status, body in results)
+
+
+# ----------------------------------------------------------------------
+# Traffic monitoring (/stats, drift, coverage)
+# ----------------------------------------------------------------------
+def training_bin_array():
+    """A populated training grid matching the test segmentation's
+    attributes: mass concentrated where the rules live."""
+    bin_array = BinArray(
+        x_layout=BinLayout("age", np.linspace(0.0, 100.0, 11)),
+        y_layout=BinLayout("salary", np.linspace(0.0, 160_000.0, 11)),
+        rhs_encoding=CategoricalEncoding("group", ("A", "B")),
+        target_code=0,
+    )
+    rng = np.random.default_rng(11)
+    x = rng.uniform(20.0, 60.0, 600)
+    y = rng.uniform(40_000.0, 110_000.0, 600)
+    bin_array.add_chunk(
+        bin_array.x_layout.assign(x),
+        bin_array.y_layout.assign(y),
+        np.zeros(600, dtype=np.int64),
+    )
+    return bin_array
+
+
+@pytest.fixture()
+def referenced_model_dir(tmp_path, segmentation):
+    directory = tmp_path / "models"
+    directory.mkdir()
+    save_segmentation(segmentation, directory / "groupA.json",
+                      bin_array=training_bin_array())
+    return directory
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTrafficMonitoring:
+    @pytest.fixture()
+    def clock(self):
+        return FakeClock()
+
+    @pytest.fixture()
+    def service(self, referenced_model_dir, clock):
+        return PredictionService(
+            ModelRegistry(referenced_model_dir,
+                          refresh_interval=0).load(),
+            monitors=TrafficMonitors(window_seconds=30.0,
+                                     window_count=3, clock=clock),
+        )
+
+    def test_stats_before_any_traffic(self, service):
+        status, body = service.dispatch("stats", None)
+        assert status == 200
+        entry = body["models"]["groupA"]
+        assert entry["reference"]["available"]
+        assert entry["reference"]["grid"] == [10, 10]
+        assert entry["current"]["points"] == 0
+        assert entry["current"]["drift_psi"] is None
+        assert entry["current"]["coverage_fraction"] is None
+        json.dumps(body)  # must be JSON-serialisable
+
+    def test_stats_reports_drift_coverage_and_out_of_range(
+            self, service, referenced_model_dir):
+        # Half in-segment traffic, half far outside every rule and
+        # beyond the trained age range (age 200 > edge 100).
+        service.predict_batch({
+            "model": "groupA",
+            "x": [25.0, 25.0, 65.0, 200.0],
+            "y": [60_000.0, 99_000.0, 50_000.0, 5_000.0],
+        })
+        entry = service.dispatch("stats", None)[1]["models"]["groupA"]
+        current = entry["current"]
+        assert current["points"] == 4
+        assert current["coverage_fraction"] == pytest.approx(0.75)
+        assert current["out_of_range"]["age"] == pytest.approx(0.25)
+        assert current["out_of_range"]["salary"] == 0.0
+        for family in ("drift_psi", "drift_js"):
+            for attribute in ("age", "salary", "joint"):
+                value = current[family][attribute]
+                assert np.isfinite(value) and value >= 0.0
+        # JS is bounded to [0, 1] bits.
+        assert all(value <= 1.0 for value in current["drift_js"].values())
+
+    def test_drift_is_bit_identical_to_scalar_oracle(
+            self, service, referenced_model_dir):
+        rng = np.random.default_rng(29)
+        service.predict_batch({
+            "model": "groupA",
+            "x": rng.uniform(0.0, 100.0, 300).tolist(),
+            "y": rng.uniform(0.0, 160_000.0, 300).tolist(),
+        })
+        entry = service.dispatch("stats", None)[1]["models"]["groupA"]
+        recent = entry["recent"]
+        reference = segmentation_reference(
+            referenced_model_dir / "groupA.json"
+        )
+        assert recent["drift_psi"]["age"] == psi_scalar(
+            reference.x_counts, recent["x_counts"]
+        )
+        assert recent["drift_psi"]["salary"] == psi_scalar(
+            reference.y_counts, recent["y_counts"]
+        )
+        assert recent["drift_psi"]["joint"] == psi_scalar(
+            reference.totals, recent["totals"]
+        )
+        assert recent["drift_js"]["age"] == js_divergence_scalar(
+            reference.x_counts, recent["x_counts"]
+        )
+        assert recent["drift_js"]["joint"] == js_divergence_scalar(
+            reference.totals, recent["totals"]
+        )
+
+    def test_windows_tumble_and_recent_aggregates(self, service, clock):
+        predict = {"model": "groupA", "x": 25.0, "y": 60_000.0}
+        service.predict(predict)
+        clock.advance(31.0)  # expire the first window
+        service.predict(predict)
+        entry = service.dispatch("stats", None)[1]["models"]["groupA"]
+        assert entry["windows_retained"] == 1
+        assert entry["current"]["points"] == 1
+        assert entry["recent"]["points"] == 2
+        # The ring is bounded: many rotations keep only window_count.
+        for _ in range(5):
+            clock.advance(31.0)
+            service.predict(predict)
+        entry = service.dispatch("stats", None)[1]["models"]["groupA"]
+        assert entry["windows_retained"] == 3
+        assert entry["recent"]["points"] == 4  # 3 closed + current
+
+    def test_monitor_without_reference_still_tracks_coverage(
+            self, model_dir):
+        service = PredictionService(
+            ModelRegistry(model_dir, refresh_interval=0).load()
+        )
+        service.predict_batch({
+            "model": "groupA", "x": [25.0, 5.0],
+            "y": [60_000.0, 5_000.0],
+        })
+        entry = service.dispatch("stats", None)[1]["models"]["groupA"]
+        assert entry["reference"] == {"available": False}
+        assert entry["current"]["coverage_fraction"] == pytest.approx(0.5)
+        assert entry["current"]["drift_psi"] is None
+        assert entry["current"]["out_of_range"] is None
+
+    def test_predict_and_explain_feed_the_monitor(self, service):
+        service.predict({"model": "groupA", "x": 25.0, "y": 60_000.0})
+        service.explain({"model": "groupA", "x": 5.0, "y": 5_000.0})
+        entry = service.dispatch("stats", None)[1]["models"]["groupA"]
+        assert entry["current"]["requests"] == 2
+        assert entry["current"]["points"] == 2
+        assert entry["current"]["rule_hits"] == [1, 0, 0]
+        assert entry["current"]["fallback_points"] == 1
+
+    def test_hot_reload_starts_a_fresh_monitor(
+            self, service, referenced_model_dir, segmentation):
+        service.predict({"model": "groupA", "x": 25.0, "y": 60_000.0})
+        old_id = service.dispatch(
+            "stats", None)[1]["models"]["groupA"]["id"]
+        replacement = Segmentation.from_rules([make_rule(0, 10, 0, 10)])
+        save_segmentation(replacement,
+                          referenced_model_dir / "groupA.json",
+                          bin_array=training_bin_array())
+        service.registry.refresh()
+        entry = service.dispatch("stats", None)[1]["models"]["groupA"]
+        assert entry["id"] != old_id
+        assert entry["current"]["points"] == 0  # fresh monitor
+        assert len(service.monitors) == 1  # the old one was pruned
+
+    def test_drift_gauges_flow_to_prometheus(self, service):
+        from repro.obs import metrics as metrics_mod
+        from repro.obs.prometheus import parse_prometheus
+        from repro.serve.service import TextResponse
+        metrics_mod.enable(metrics_mod.MetricsRegistry())
+        try:
+            service.predict_batch({
+                "model": "groupA",
+                "x": [25.0] * 10, "y": [60_000.0] * 10,
+            })
+            service.dispatch("stats", None)
+            status, body = service.dispatch(
+                "metrics", {"format": "prometheus"}
+            )
+        finally:
+            metrics_mod.disable()
+        assert status == 200 and isinstance(body, TextResponse)
+        families = parse_prometheus(body.text)
+        for family in ("arcs_serve_drift_psi", "arcs_serve_drift_js",
+                       "arcs_serve_coverage_fraction",
+                       "arcs_serve_out_of_range"):
+            assert families[family]["kind"] == "gauge"
+        psi_samples = {
+            labels["attr"]: value
+            for _, labels, value
+            in families["arcs_serve_drift_psi"]["samples"]
+            if labels["model"] == "groupA"
+        }
+        assert set(psi_samples) == {"age", "salary", "joint"}
+
+    def test_drift_threshold_crossing_emits_event(
+            self, service, tmp_path):
+        from repro.obs import events
+        log = tmp_path / "events.jsonl"
+        events.enable_events(log)
+        try:
+            # All traffic into one far corner: PSI far above 0.2.
+            service.predict_batch({
+                "model": "groupA",
+                "x": [99.0] * 50, "y": [159_000.0] * 50,
+            })
+            service.dispatch("stats", None)
+        finally:
+            events.disable_events()
+        alerts = [
+            json.loads(line) for line in log.read_text().splitlines()
+            if json.loads(line)["type"] == "drift_alert"
+        ]
+        assert alerts, "expected a drift_alert event"
+        assert alerts[0]["state"] == "alert"
+        assert alerts[0]["model"] == "groupA"
+        assert alerts[0]["psi"] > 0.2
+        # A second stats read without a state change stays quiet.
+        events.enable_events(tmp_path / "events2.jsonl")
+        try:
+            service.dispatch("stats", None)
+        finally:
+            events.disable_events()
+        second = (tmp_path / "events2.jsonl")
+        assert (not second.exists()
+                or "drift_alert" not in second.read_text())
+
+    def test_recording_failure_never_breaks_prediction(
+            self, service, monkeypatch, caplog):
+        def explode(*args, **kwargs):
+            raise RuntimeError("monitor down")
+
+        monkeypatch.setattr(
+            type(service.monitors), "for_model", explode
+        )
+        with caplog.at_level("ERROR", logger="repro.serve.service"):
+            body = service.predict(
+                {"model": "groupA", "x": 25.0, "y": 60_000.0}
+            )
+        assert body["in_segment"]
+        assert "traffic monitor recording failed" in caplog.text
+
+
+class TestStatsOverHTTP:
+    @pytest.fixture()
+    def referenced_server(self, referenced_model_dir):
+        server = create_server(referenced_model_dir, port=0,
+                               refresh_interval=0)
+        server.serve_in_background()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def test_stats_endpoint_over_http(self, referenced_server):
+        _post(referenced_server, "/predict_batch", {
+            "model": "groupA",
+            "x": [25.0, 25.0, 5.0], "y": [60_000.0, 99_000.0, 5_000.0],
+        })
+        status, body = _get(referenced_server, "/stats")
+        assert status == 200
+        entry = body["models"]["groupA"]
+        assert entry["reference"]["available"]
+        assert entry["current"]["points"] == 3
+        assert np.isfinite(entry["current"]["drift_psi"]["joint"])
+
+    def test_stats_while_hammering_predict(self, referenced_server):
+        """Readers of /stats race writers of /predict without errors or
+        torn snapshots."""
+        errors = []
+        stats_bodies = []
+        rng = np.random.default_rng(41)
+        points = rng.uniform(0.0, 100.0, (6, 40))
+
+        def predictor(row):
+            for x in points[row]:
+                status, _ = _post(referenced_server, "/predict", {
+                    "model": "groupA", "x": float(x), "y": 60_000.0,
+                })
+                if status != 200:
+                    errors.append(("predict", status))
+
+        def reader():
+            for _ in range(20):
+                status, body = _get(referenced_server, "/stats")
+                if status != 200:
+                    errors.append(("stats", status))
+                else:
+                    stats_bodies.append(body)
+
+        threads = [
+            threading.Thread(target=predictor, args=(row,))
+            for row in range(6)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        final = _get(referenced_server, "/stats")[1]
+        assert final["models"]["groupA"]["recent"]["points"] == 240
+        # Every intermediate snapshot is internally consistent.
+        for body in stats_bodies:
+            recent = body["models"]["groupA"]["recent"]
+            assert recent["points"] == sum(recent["x_counts"])
+            assert recent["points"] >= recent["fallback_points"]

@@ -364,6 +364,47 @@ class TestPrometheusExposition:
         with pytest.raises(PrometheusParseError):
             parse_prometheus(payload)
 
+    def test_drift_gauge_families_round_trip(self):
+        registry = MetricsRegistry()
+        for attr, value in (("age", 0.31), ("salary", 0.02),
+                            ("joint", 0.12)):
+            registry.gauge("serve.drift_psi",
+                           labels={"attr": attr, "model": "groupA"},
+                           ).set(value)
+            registry.gauge("serve.drift_js",
+                           labels={"attr": attr, "model": "groupA"},
+                           ).set(value / 2)
+        registry.gauge("serve.coverage_fraction",
+                       labels={"model": "groupA"}).set(0.9)
+        registry.gauge("serve.out_of_range",
+                       labels={"attr": "age", "model": "groupA"},
+                       ).set(0.0)
+        families = parse_prometheus(
+            render_prometheus(registry.snapshot())
+        )
+        psi = families["arcs_serve_drift_psi"]
+        assert psi["kind"] == "gauge"
+        by_attr = {
+            labels["attr"]: float(value)
+            for _, labels, value in psi["samples"]
+            if labels["model"] == "groupA"
+        }
+        assert by_attr == {"age": pytest.approx(0.31),
+                           "salary": pytest.approx(0.02),
+                           "joint": pytest.approx(0.12)}
+        js = families["arcs_serve_drift_js"]
+        assert {labels["attr"] for _, labels, _ in js["samples"]} == \
+            {"age", "salary", "joint"}
+        coverage = families["arcs_serve_coverage_fraction"]
+        assert coverage["samples"] == [(
+            "arcs_serve_coverage_fraction", {"model": "groupA"}, "0.9",
+        )]
+        out_of_range = families["arcs_serve_out_of_range"]
+        assert out_of_range["kind"] == "gauge"
+        assert float(out_of_range["samples"][0][2]) == 0.0
+        # Descriptions come straight from the catalogue.
+        assert "Population Stability Index" in psi["help"]
+
     def test_run_report_to_prometheus(self):
         report = RunReport(
             name="arcs.fit", started_at=0.0, duration_seconds=1.0,
