@@ -210,6 +210,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="how often the model directory is re-checked "
                             "for hot reload (negative disables)")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="scoring worker processes sharing the "
+                            "listening socket and shared-memory scorer "
+                            "tables (0 = single threaded process)")
+    serve.add_argument("--batch-window", type=float, default=0.0,
+                       metavar="MS",
+                       help="coalesce concurrent scoring calls for up "
+                            "to MS milliseconds into one batch gather "
+                            "(0 disables batching; workers > 0 default "
+                            "to 2ms)")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       metavar="POINTS",
+                       help="flush a batch early once this many points "
+                            "wait for one model (default 1024)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       metavar="N",
+                       help="shed requests with HTTP 429 once N "
+                            "submissions are queued (default 256)")
     _add_obs_flags(serve)
 
     score = commands.add_parser(
@@ -522,21 +540,11 @@ def _command_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve(args: argparse.Namespace) -> int:
-    from repro.serve import create_server, run_server
-
-    # A serving process exists to be watched: collect metrics so
-    # /metrics answers, and spans too under --trace.
-    obs.enable(
-        trace_spans=getattr(args, "trace", False), collect_metrics=True
-    )
-    server = create_server(
-        args.models, host=args.host, port=args.port,
-        refresh_interval=args.refresh_interval,
-    )
-    registry = server.service.registry
-    print(f"serving {len(registry)} model(s) from {args.models} "
-          f"at {server.url}")
+def _describe_served(registry, source: Path, url: str,
+                     workers: int = 0) -> None:
+    mode = f" across {workers} workers" if workers else ""
+    print(f"serving {len(registry)} model(s) from {source} "
+          f"at {url}{mode}")
     for model in registry.models():
         segmentation = model.segmentation
         print(f"  {model.model_id}  {model.name}: "
@@ -544,6 +552,68 @@ def _command_serve(args: argparse.Namespace) -> int:
               f"{segmentation.y_attribute}) => "
               f"{segmentation.rhs_attribute} = "
               f"{segmentation.rhs_value} [{len(segmentation)} rules]")
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        WorkerConfig,
+        create_multiprocess_server,
+        create_server,
+        run_multiprocess_server,
+        run_server,
+    )
+    from repro.serve.batching import (
+        DEFAULT_MAX_BATCH,
+        DEFAULT_MAX_DELAY_SECONDS,
+        DEFAULT_MAX_DEPTH,
+    )
+
+    if args.workers < 0:
+        raise SystemExit("arcs serve: --workers must be >= 0")
+    if args.batch_window < 0:
+        raise SystemExit("arcs serve: --batch-window must be >= 0")
+    # A serving process exists to be watched: collect metrics so
+    # /metrics answers, and spans too under --trace.
+    obs.enable(
+        trace_spans=getattr(args, "trace", False), collect_metrics=True
+    )
+    if args.workers > 0:
+        # Workers default to batching on: coalesced gathers are the
+        # point of a multi-core front end.  --batch-window 0 is still
+        # honoured as an explicit opt-out per worker.
+        window_seconds = (
+            args.batch_window / 1000.0 if args.batch_window > 0
+            else DEFAULT_MAX_DELAY_SECONDS
+        )
+        config = WorkerConfig(
+            batch_window_seconds=window_seconds,
+            max_batch=(args.max_batch if args.max_batch is not None
+                       else DEFAULT_MAX_BATCH),
+            queue_depth=(args.queue_depth
+                         if args.queue_depth is not None
+                         else DEFAULT_MAX_DEPTH),
+            events_out=(str(args.events_out)
+                        if getattr(args, "events_out", None) is not None
+                        else None),
+            trace_spans=getattr(args, "trace", False),
+        )
+        pool = create_multiprocess_server(
+            args.models, host=args.host, port=args.port,
+            workers=args.workers,
+            refresh_interval=args.refresh_interval, config=config,
+        )
+        _describe_served(pool.registry, args.models, pool.url,
+                         workers=args.workers)
+        run_multiprocess_server(pool)
+        return 0
+    server = create_server(
+        args.models, host=args.host, port=args.port,
+        refresh_interval=args.refresh_interval,
+        batch_window_seconds=args.batch_window / 1000.0,
+        max_batch=args.max_batch,
+        queue_depth=args.queue_depth,
+    )
+    _describe_served(server.service.registry, args.models, server.url)
     run_server(server)
     return 0
 

@@ -85,6 +85,9 @@ METRICS: dict[str, tuple[str, str]] = {
     'serve.out_of_range{attr,model}':
         ('gauge',
          'fraction of recently scored points outside the trained bin range, per LHS attribute and model'),
+    'serve.queue_depth':
+        ('gauge',
+         'scoring submissions currently waiting in the batch queue'),
     'serve.reload_errors':
         ('counter',
          'artefacts that failed to reload (previous version kept)'),
@@ -109,9 +112,30 @@ METRICS: dict[str, tuple[str, str]] = {
     'serve.scorer_cache_misses':
         ('counter',
          '`compile_scorer` LRU cache misses'),
+    'serve.shed_total{endpoint}':
+        ('counter',
+         'requests shed with HTTP 429 at the queue-depth bound, labeled by endpoint'),
+    'serve.shm_attach_fallbacks':
+        ('counter',
+         'worker scorer resolutions that compiled locally because no shared block existed'),
+    'serve.shm_attached':
+        ('counter',
+         'shared-memory scorer tables attached zero-copy by workers'),
+    'serve.shm_published':
+        ('counter',
+         'compiled scorer tables published into shared memory by the parent'),
+    'serve.shm_retired':
+        ('counter',
+         'replaced shared-memory blocks unlinked after every worker re-attached'),
     'serve.tuples_scored':
         ('counter',
          'tuples scored by `CompiledScorer.score_batch`'),
+    'serve.worker_restarts':
+        ('counter',
+         'dead scoring workers restarted by the parent watchdog'),
+    'serve.workers':
+        ('gauge',
+         'scoring worker processes the multi-process server runs (0 once drained)'),
     'smoothing.cells_flipped':
         ('counter',
          'cells changed by the low-pass filter'),

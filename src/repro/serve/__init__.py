@@ -20,13 +20,32 @@ that missing half, in three layers:
 * :mod:`repro.serve.monitor` — per-model :class:`TrafficMonitor` s that
   re-bin scored traffic into the training grid and score drift
   (PSI / Jensen-Shannon) against the artefact's reference profile,
-  surfaced via ``GET /stats``, drift gauges and threshold events.
+  surfaced via ``GET /stats``, drift gauges and threshold events;
+* :mod:`repro.serve.batching` — a :class:`BatchQueue` coalescing
+  concurrent scoring calls into single ``score_batch`` gathers, with
+  429 load shedding and a graceful drain;
+* :mod:`repro.serve.workers` — the pre-fork
+  :class:`MultiProcessServer`: N forked workers sharing one listening
+  socket and attaching compiled scorer tables zero-copy from
+  ``multiprocessing.shared_memory`` (``arcs serve --workers N``).
 
 CLI: ``arcs serve <model-dir>`` and ``arcs score <model> --input csv``.
 Full reference: ``docs/serving.md``.
 """
 
-from repro.serve.app import create_server, run_server
+from repro.serve.app import (
+    create_multiprocess_server,
+    create_server,
+    drain_server,
+    run_multiprocess_server,
+    run_server,
+)
+from repro.serve.batching import (
+    BatchingError,
+    BatchQueue,
+    DrainingError,
+    QueueFullError,
+)
 from repro.serve.monitor import TrafficMonitor, TrafficMonitors
 from repro.serve.registry import (
     ModelDirectoryError,
@@ -45,21 +64,38 @@ from repro.serve.service import (
     PredictionService,
     ServiceError,
 )
+from repro.serve.workers import (
+    MultiProcessServer,
+    SharedScorerCache,
+    WorkerConfig,
+    WorkerError,
+)
 
 __all__ = [
+    "BatchQueue",
+    "BatchingError",
     "CompiledScorer",
+    "DrainingError",
     "ModelDirectoryError",
     "ModelNotFoundError",
     "ModelRegistry",
+    "MultiProcessServer",
     "PredictionServer",
     "PredictionService",
+    "QueueFullError",
     "ScoringError",
     "ServedModel",
     "ServiceError",
+    "SharedScorerCache",
     "TrafficMonitor",
     "TrafficMonitors",
+    "WorkerConfig",
+    "WorkerError",
     "compile_scorer",
+    "create_multiprocess_server",
     "create_server",
+    "drain_server",
+    "run_multiprocess_server",
     "run_server",
     "scorer_cache_clear",
 ]

@@ -60,9 +60,18 @@ from repro.obs.profiler import profile_for
 from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from repro.obs.prometheus import render_registry
 from repro.obs.tracing import Span
+from repro.serve.batching import (
+    BatchQueue,
+    DrainingError,
+    QueueFullError,
+)
 from repro.serve.monitor import TrafficMonitors
 from repro.serve.registry import ModelRegistry, ServedModel
-from repro.serve.scorer import ScoringError, compile_scorer
+from repro.serve.scorer import (
+    CompiledScorer,
+    ScoringError,
+    compile_scorer,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -140,12 +149,27 @@ def _interval_dict(interval) -> dict:
     }
 
 
+def _compile_for(model: ServedModel) -> CompiledScorer:
+    """The default scorer provider: the in-process LRU-cached compile."""
+    return compile_scorer(model.segmentation)
+
+
 class PredictionService:
-    """Endpoint logic over a :class:`ModelRegistry` (transport-free)."""
+    """Endpoint logic over a :class:`ModelRegistry` (transport-free).
+
+    ``batcher`` (a :class:`~repro.serve.batching.BatchQueue`) routes all
+    scoring through the coalescing queue — shed (429) and drain (503)
+    semantics come with it.  ``scorer_provider`` swaps where compiled
+    scorers come from: the default compiles in process; worker processes
+    inject a provider that attaches to the parent's shared-memory
+    tables (:mod:`repro.serve.workers`).
+    """
 
     def __init__(self, registry: ModelRegistry,
                  recent_span_limit: int = 64,
-                 monitors: TrafficMonitors | None = None):
+                 monitors: TrafficMonitors | None = None,
+                 batcher: BatchQueue | None = None,
+                 scorer_provider=None):
         self.registry = registry
         self.started = perf_counter()
         #: Per-request root spans when tracing is enabled (ring buffer).
@@ -155,6 +179,34 @@ class PredictionService:
         self.monitors = (
             monitors if monitors is not None else TrafficMonitors()
         )
+        #: Optional request-coalescing queue (None scores inline).
+        self.batcher = batcher
+        self.scorer_for = (
+            scorer_provider if scorer_provider is not None
+            else _compile_for
+        )
+        #: Extra keys merged into /healthz (worker identity etc.); set
+        #: once before serving starts, read-only afterwards.
+        self.health_extra: dict = {}
+        self._draining = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop accepting scoring work; in-flight requests complete.
+
+        New ``/predict``/``/predict_batch``/``/explain`` calls are
+        refused with 503 from this point on; read-only endpoints keep
+        answering so orchestrators can watch the drain.  Idempotent.
+        """
+        if not self._draining.is_set():
+            logger.info("drain started: scoring endpoints now return 503")
+        self._draining.set()
 
     # ------------------------------------------------------------------
     # Model resolution
@@ -175,9 +227,10 @@ class PredictionService:
     def healthz(self, payload: dict | None = None) -> dict:
         self.registry.maybe_refresh()
         return {
-            "status": "ok",
+            "status": "draining" if self.draining else "ok",
             "models": len(self.registry),
             "uptime_seconds": perf_counter() - self.started,
+            **self.health_extra,
         }
 
     def models(self, payload: dict | None = None) -> dict:
@@ -237,7 +290,7 @@ class PredictionService:
     def predict(self, payload: dict) -> dict:
         model = self._resolve(payload)
         x, y = _number(payload, "x"), _number(payload, "y")
-        index = self._score_one(model, x, y)
+        index = self._score_one(model, x, y, "predict")
         self._record_traffic(model, (x,), (y,), (index,))
         return self._prediction(model, index)
 
@@ -262,10 +315,7 @@ class PredictionService:
                 400, f"x and y batches differ in length: "
                      f"{len(x)} vs {len(y)}"
             )
-        try:
-            indices = compile_scorer(model.segmentation).score_batch(x, y)
-        except ScoringError as error:  # NaN in the batch
-            raise ServiceError(400, str(error)) from None
+        indices = self._score_arrays(model, x, y, "predict_batch")
         self._record_traffic(model, x, y, indices)
         return {
             "model": model.model_id,
@@ -278,7 +328,7 @@ class PredictionService:
     def explain(self, payload: dict) -> dict:
         model = self._resolve(payload)
         x, y = _number(payload, "x"), _number(payload, "y")
-        index = self._score_one(model, x, y)
+        index = self._score_one(model, x, y, "explain")
         self._record_traffic(model, (x,), (y,), (index,))
         response = self._prediction(model, index)
         if index >= 0:
@@ -297,11 +347,37 @@ class PredictionService:
             response["explanation"] = None
         return response
 
-    def _score_one(self, model: ServedModel, x: float, y: float) -> int:
+    def _score_one(self, model: ServedModel, x: float, y: float,
+                   endpoint: str) -> int:
+        indices = self._score_arrays(
+            model,
+            np.asarray([x], dtype=np.float64),
+            np.asarray([y], dtype=np.float64),
+            endpoint,
+        )
+        return int(indices[0])
+
+    def _score_arrays(self, model: ServedModel, x_values: np.ndarray,
+                      y_values: np.ndarray,
+                      endpoint: str) -> np.ndarray:
+        """Score a batch directly or through the coalescing queue.
+
+        Maps the scoring-path failure modes to their HTTP statuses:
+        invalid input 400, queue full 429 (counted in
+        ``serve.shed_total{endpoint}``), draining 503.
+        """
+        scorer = self.scorer_for(model)
         try:
-            return compile_scorer(model.segmentation).score(x, y)
+            if self.batcher is None:
+                return scorer.score_batch(x_values, y_values)
+            return self.batcher.submit(scorer, x_values, y_values)
         except ScoringError as error:  # NaN input
             raise ServiceError(400, str(error)) from None
+        except QueueFullError as error:
+            metrics.inc("serve.shed_total", labels={"endpoint": endpoint})
+            raise ServiceError(429, str(error)) from None
+        except DrainingError as error:
+            raise ServiceError(503, str(error)) from None
 
     def _record_traffic(self, model: ServedModel, x_values, y_values,
                         rule_indices) -> None:
@@ -347,6 +423,12 @@ class PredictionService:
             span.__enter__()
         status = 500
         try:
+            if (endpoint in _SCORING_ENDPOINTS
+                    and self._draining.is_set()):
+                raise ServiceError(
+                    503, "server is draining; no new scoring work "
+                         "accepted"
+                )
             body = handler(self, payload)
             status = 200
             return status, body
@@ -376,6 +458,10 @@ class PredictionService:
                 metrics.observe("serve.request_seconds", elapsed,
                                 labels={"endpoint": endpoint})
 
+
+#: The endpoints refused with 503 while draining (read-only endpoints
+#: keep answering so orchestrators can watch the drain finish).
+_SCORING_ENDPOINTS = frozenset({"predict", "predict_batch", "explain"})
 
 #: Endpoint name -> bound-method dispatch table (GET entries take an
 #: ignored payload so the dispatch signature is uniform).
@@ -407,6 +493,11 @@ _POST_ROUTES = {
 
 class PredictionHandler(BaseHTTPRequestHandler):
     """JSON-over-HTTP front for a :class:`PredictionService`."""
+
+    # Responses go out as two small sends (header block, then body);
+    # with Nagle on, the second waits for the first's ACK — a ~40ms
+    # stall per request on keep-alive connections.
+    disable_nagle_algorithm = True
 
     server: "PredictionServer"
     protocol_version = "HTTP/1.1"

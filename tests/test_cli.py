@@ -502,3 +502,40 @@ class TestDrift:
         bogus.write_text('{"hello": 1}')
         with pytest.raises(SystemExit, match="neither"):
             main(["drift", str(seg_path), str(bogus)])
+
+
+class TestServeFlags:
+    def _parse(self, argv):
+        from repro.cli import _build_parser
+
+        return _build_parser().parse_args(argv)
+
+    def test_serve_defaults_to_threaded_unbatched(self, tmp_path):
+        args = self._parse(["serve", str(tmp_path)])
+        assert args.workers == 0
+        assert args.batch_window == 0.0
+        assert args.max_batch is None
+        assert args.queue_depth is None
+
+    def test_serve_accepts_worker_and_batching_flags(self, tmp_path):
+        args = self._parse([
+            "serve", str(tmp_path), "--workers", "4",
+            "--batch-window", "5", "--max-batch", "512",
+            "--queue-depth", "64",
+        ])
+        assert args.workers == 4
+        assert args.batch_window == 5.0
+        assert args.max_batch == 512
+        assert args.queue_depth == 64
+
+    def test_serve_rejects_negative_workers(self, tmp_path):
+        tmp_path.joinpath("models").mkdir()
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", str(tmp_path / "models"),
+                  "--workers", "-1"])
+
+    def test_serve_rejects_negative_batch_window(self, tmp_path):
+        tmp_path.joinpath("models").mkdir()
+        with pytest.raises(SystemExit, match="--batch-window"):
+            main(["serve", str(tmp_path / "models"),
+                  "--batch-window", "-2"])

@@ -4,6 +4,7 @@ import json
 import threading
 import urllib.error
 import urllib.request
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -910,3 +911,164 @@ class TestStatsOverHTTP:
             recent = body["models"]["groupA"]["recent"]
             assert recent["points"] == sum(recent["x_counts"])
             assert recent["points"] >= recent["fallback_points"]
+
+
+# ----------------------------------------------------------------------
+# Graceful drain (threaded path)
+# ----------------------------------------------------------------------
+class TestGracefulDrain:
+    def test_begin_drain_rejects_scoring_with_503(self, model_dir):
+        service = PredictionService(
+            ModelRegistry(model_dir, refresh_interval=0).load()
+        )
+        assert not service.draining
+        service.begin_drain()
+        assert service.draining
+        service.begin_drain()  # idempotent
+        for endpoint in ("predict", "predict_batch", "explain"):
+            status, body = service.dispatch(
+                endpoint, {"model": "groupA", "x": 25, "y": 60_000}
+            )
+            assert status == 503
+            assert "draining" in body["error"]
+        # Read-only endpoints keep answering so orchestration can
+        # watch the drain finish.
+        assert service.healthz()["status"] == "draining"
+        assert service.dispatch("models", {})[0] == 200
+
+    def test_inflight_request_completes_during_drain(self, server):
+        import time as time_module
+
+        service = server.service
+        entered = threading.Event()
+        release = threading.Event()
+        direct = service.scorer_for
+
+        class SlowScorer:
+            def __init__(self, scorer):
+                self.scorer = scorer
+                self.segmentation = scorer.segmentation
+
+            def score_batch(self, x_values, y_values):
+                entered.set()
+                assert release.wait(30.0), "drain test never released"
+                return self.scorer.score_batch(x_values, y_values)
+
+        service.scorer_for = lambda model: SlowScorer(direct(model))
+        results = []
+        inflight = threading.Thread(target=lambda: results.append(
+            _post(server, "/predict",
+                  {"model": "groupA", "x": 25, "y": 60_000})
+        ))
+        inflight.start()
+        assert entered.wait(10.0)
+        # Drain mid-flight: the slow request must complete, new
+        # scoring work must bounce with 503.
+        service.begin_drain()
+        status, body = _post(server, "/predict",
+                             {"model": "groupA", "x": 25, "y": 60_000})
+        assert status == 503 and "draining" in body["error"]
+        release.set()
+        inflight.join(10.0)
+        assert not inflight.is_alive()
+        assert results and results[0][0] == 200
+        assert results[0][1]["in_segment"]
+
+    def test_drain_server_helper_stops_the_loop(self, model_dir):
+        from repro.serve import drain_server
+
+        server = create_server(model_dir, port=0, refresh_interval=0,
+                               batch_window_seconds=0.001)
+        thread = server.serve_in_background()
+        assert _post(server, "/predict",
+                     {"model": "groupA", "x": 25, "y": 60_000})[0] == 200
+        drain_server(server, timeout=10.0)
+        thread.join(10.0)
+        assert not thread.is_alive()
+        assert server.service.draining
+        assert server.service.batcher.closed
+        server.server_close()
+
+    def test_sigterm_drains_run_server_promptly(self, model_dir):
+        # Regression: the SIGTERM handler used to run drain_server on
+        # the main thread — the one inside serve_forever — so the
+        # blocking join stalled shutdown for the full drain timeout.
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             str(model_dir), "--port", "0", "--batch-window", "1"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            url = None
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    pytest.fail("server exited early:\n"
+                                + proc.stdout.read().decode())
+                line = proc.stdout.readline().decode()
+                if "http://" in line:
+                    url = "http://" + line.split("http://", 1)[1].strip()
+                    break
+            assert url is not None, "server never printed its URL"
+            # Answering a request proves serve_forever is running — and
+            # with it, that the SIGTERM handler is installed.
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                try:
+                    with urllib.request.urlopen(url + "/healthz",
+                                                timeout=2.0):
+                        break
+                except (urllib.error.URLError, OSError):
+                    time.sleep(0.1)
+            proc.send_signal(signal.SIGTERM)
+            # Well under the 30s drain timeout the old handler burned.
+            assert proc.wait(timeout=10.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+            proc.stdout.close()
+
+    def test_batched_server_end_to_end(self, model_dir):
+        from repro.obs import metrics as metrics_module
+
+        metrics_module.enable(metrics_module.MetricsRegistry())
+        server = create_server(model_dir, port=0, refresh_interval=0,
+                               batch_window_seconds=0.002)
+        server.serve_in_background()
+        try:
+            statuses = []
+            lock = threading.Lock()
+
+            def call(row):
+                status, body = _post(
+                    server, "/predict",
+                    {"model": "groupA", "x": 25 + row, "y": 60_000},
+                )
+                with lock:
+                    statuses.append(status)
+
+            threads = [threading.Thread(target=call, args=(row,))
+                       for row in range(12)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert statuses == [200] * 12
+            # The batching gauge is live on the JSON exposition.
+            body = _get(server, "/metrics")[1]
+            assert "serve.queue_depth" in body["metrics"]["gauges"]
+        finally:
+            server.service.batcher.close()
+            server.shutdown()
+            server.server_close()
+            metrics_module.disable()

@@ -1,0 +1,386 @@
+"""Tests for multi-process serving (repro.serve.workers).
+
+Covers the shared-memory table codec (bit-identical to the compiled
+scorer and the scalar oracle), the publish/ack/retire protocol, and the
+pre-fork :class:`MultiProcessServer` end to end over live HTTP —
+including graceful drain, worker restart and hot reload.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+import urllib.error
+import urllib.request
+from multiprocessing.shared_memory import SharedMemory
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.rules import ClusteredRule, Interval
+from repro.core.segmentation import Segmentation
+from repro.perf.reference import score_batch_scalar
+from repro.persistence import save_segmentation
+from repro.serve import (
+    ModelRegistry,
+    MultiProcessServer,
+    SharedScorerCache,
+    WorkerConfig,
+    WorkerError,
+    compile_scorer,
+)
+from repro.serve.workers import (
+    ScorerPublisher,
+    attach_scorer,
+    block_name,
+    publish_tables,
+)
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="multi-process serving needs the fork start method",
+)
+
+
+def make_rule(x_lo, x_hi, y_lo, y_hi, *, rhs="A"):
+    return ClusteredRule(
+        "age", "salary", Interval(x_lo, x_hi), Interval(y_lo, y_hi),
+        "group", rhs, support=0.1, confidence=0.9,
+    )
+
+
+@pytest.fixture()
+def segmentation():
+    return Segmentation.from_rules([
+        make_rule(20, 40, 50_000, 100_000),
+        make_rule(60, 80, 25_000, 75_000),
+    ])
+
+
+@pytest.fixture()
+def model_dir(tmp_path, segmentation):
+    directory = tmp_path / "models"
+    directory.mkdir()
+    save_segmentation(segmentation, directory / "groupA.json")
+    return directory
+
+
+def _get(url, path, timeout=5):
+    try:
+        with urllib.request.urlopen(url + path,
+                                    timeout=timeout) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def _post(url, path, payload, timeout=5):
+    request = urllib.request.Request(
+        url + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request,
+                                    timeout=timeout) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def _wait_until(predicate, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout  # wall-clock: ok
+    while time.monotonic() < deadline:  # wall-clock: ok
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory codec
+# ----------------------------------------------------------------------
+class TestSharedTables:
+    def test_attach_round_trips_bit_identical(self, segmentation):
+        scorer = compile_scorer(segmentation)
+        name = f"arcstest{os.getpid():x}_roundtrip"
+        shm = publish_tables(scorer, name)
+        try:
+            attached, handle = attach_scorer(name, segmentation)
+            try:
+                assert np.array_equal(attached.x_edges, scorer.x_edges)
+                assert np.array_equal(attached.y_edges, scorer.y_edges)
+                assert np.array_equal(attached.table, scorer.table)
+                rng = np.random.default_rng(7)
+                x = rng.uniform(0, 100, 1000)
+                y = rng.uniform(0, 120_000, 1000)
+                expected = score_batch_scalar(segmentation, x, y)
+                assert np.array_equal(
+                    attached.score_batch(x, y), expected
+                )
+                assert np.array_equal(
+                    scorer.score_batch(x, y), expected
+                )
+            finally:
+                handle.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_attached_tables_are_read_only(self, segmentation):
+        scorer = compile_scorer(segmentation)
+        name = f"arcstest{os.getpid():x}_readonly"
+        shm = publish_tables(scorer, name)
+        try:
+            attached, handle = attach_scorer(name, segmentation)
+            try:
+                with pytest.raises(ValueError):
+                    attached.table[0, 0] = 99
+            finally:
+                handle.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_attach_missing_block_raises(self, segmentation):
+        with pytest.raises(FileNotFoundError):
+            attach_scorer(f"arcstest{os.getpid():x}_ghost",
+                          segmentation)
+
+    def test_publish_replaces_stale_block(self, segmentation):
+        scorer = compile_scorer(segmentation)
+        name = f"arcstest{os.getpid():x}_stale"
+        first = publish_tables(scorer, name)
+        first.close()  # simulate a crashed publisher: never unlinked
+        second = publish_tables(scorer, name)
+        try:
+            attached, handle = attach_scorer(name, segmentation)
+            handle.close()
+        finally:
+            second.close()
+            second.unlink()
+
+
+class TestSharedScorerCache:
+    def test_falls_back_to_local_compile(self, model_dir,
+                                         segmentation):
+        registry = ModelRegistry(model_dir, refresh_interval=-1).load()
+        cache = SharedScorerCache(f"arcstest{os.getpid():x}nope")
+        try:
+            model = registry.models()[0]
+            scorer = cache.resolve(model)
+            x, y = [25.0, 5.0], [60_000.0, 1.0]
+            assert np.array_equal(
+                scorer.score_batch(x, y),
+                score_batch_scalar(segmentation, x, y),
+            )
+            # Cached: same object on the next resolve.
+            assert cache.resolve(model) is scorer
+        finally:
+            cache.close()
+
+    def test_prefers_published_block(self, model_dir):
+        registry = ModelRegistry(model_dir, refresh_interval=-1).load()
+        model = registry.models()[0]
+        prefix = f"arcstest{os.getpid():x}pub"
+        scorer = compile_compile = compile_scorer(model.segmentation)
+        shm = publish_tables(
+            scorer, block_name(prefix, model.model_id)
+        )
+        cache = SharedScorerCache(prefix)
+        try:
+            resolved = cache.resolve(model)
+            # An attached scorer's arrays live in the shared block,
+            # not in the LRU-cached compile.
+            assert resolved is not compile_compile
+            assert np.array_equal(resolved.table, scorer.table)
+        finally:
+            cache.close()
+            shm.close()
+            shm.unlink()
+
+
+class TestScorerPublisher:
+    def test_sync_publishes_and_retires(self, model_dir, tmp_path,
+                                        segmentation):
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        publisher = ScorerPublisher(f"arcstest{os.getpid():x}ret")
+        try:
+            generation = publisher.sync(registry.models())
+            model_id = registry.models()[0].model_id
+            name = publisher.block_for(model_id)
+            attached, handle = attach_scorer(name, segmentation)
+            handle.close()
+            # Drop the artefact: the next sync retires its block, but
+            # the name survives until every worker acks.
+            (model_dir / "groupA.json").unlink()
+            registry.refresh()
+            retire_generation = publisher.sync(registry.models())
+            assert retire_generation == generation + 1
+            publisher.note_ack(0, generation)
+            attached, handle = attach_scorer(name, segmentation)
+            handle.close()
+            # Both (all) workers past the retire generation: unlinked.
+            publisher.note_ack(0, retire_generation)
+            with pytest.raises(FileNotFoundError):
+                attach_scorer(name, segmentation)
+        finally:
+            publisher.close()
+
+    def test_externally_removed_block_tolerated(self, model_dir,
+                                                segmentation):
+        # An operator (or a tmpfs cleaner) removed the file under
+        # /dev/shm: retirement bookkeeping and shutdown must both
+        # survive, not wedge the ack loop or hang drain.
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        publisher = ScorerPublisher(f"arcstest{os.getpid():x}ext")
+        try:
+            generation = publisher.sync(registry.models())
+            model_id = registry.models()[0].model_id
+            name = publisher.block_for(model_id)
+            stolen = SharedMemory(name=name)
+            stolen.close()
+            stolen.unlink()
+            (model_dir / "groupA.json").unlink()
+            registry.refresh()
+            retire_generation = publisher.sync(registry.models())
+            assert retire_generation == generation + 1
+            publisher.note_ack(0, retire_generation)  # must not raise
+        finally:
+            publisher.close()  # must not raise either
+
+    def test_dead_worker_acks_reset(self, model_dir, segmentation):
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        publisher = ScorerPublisher(f"arcstest{os.getpid():x}rst")
+        try:
+            generation = publisher.sync(registry.models())
+            publisher.note_ack(0, generation)
+            publisher.note_ack(1, generation)
+            publisher.reset_worker(1)
+            model_id = registry.models()[0].model_id
+            name = publisher.block_for(model_id)
+            (model_dir / "groupA.json").unlink()
+            registry.refresh()
+            retire_generation = publisher.sync(registry.models())
+            publisher.note_ack(0, retire_generation)
+            # Worker 1 restarted and has not re-acked: block stays.
+            attached, handle = attach_scorer(name, segmentation)
+            handle.close()
+            publisher.note_ack(1, retire_generation)
+            with pytest.raises(FileNotFoundError):
+                attach_scorer(name, segmentation)
+        finally:
+            publisher.close()
+
+
+# ----------------------------------------------------------------------
+# The pre-fork server, live over HTTP
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def pool(model_dir):
+    server = MultiProcessServer(
+        model_dir, port=0, workers=2, refresh_interval=-1,
+        config=WorkerConfig(batch_window_seconds=0.001),
+    )
+    server.start()
+    yield server
+    server.drain(timeout=15.0)
+
+
+class TestMultiProcessServer:
+    def test_rejects_bad_worker_count(self, model_dir):
+        with pytest.raises(WorkerError, match="at least 1"):
+            MultiProcessServer(model_dir, port=0, workers=0)
+
+    def test_serves_predictions_bit_identical(self, pool,
+                                              segmentation):
+        rng = np.random.default_rng(11)
+        x = rng.uniform(0, 100, 256)
+        y = rng.uniform(0, 120_000, 256)
+        status, body = _post(pool.url, "/predict_batch", {
+            "model": "groupA", "x": x.tolist(), "y": y.tolist(),
+        })
+        assert status == 200
+        expected = score_batch_scalar(segmentation, x, y)
+        assert np.array_equal(
+            np.asarray(body["rule"], dtype=np.int64), expected
+        )
+
+    def test_healthz_reports_worker_identity(self, pool):
+        status, body = _get(pool.url, "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        assert body["workers"] == 2
+        assert body["worker"] in (0, 1)
+
+    def test_queue_depth_gauge_in_exposition(self, pool):
+        request = urllib.request.Request(
+            pool.url + "/metrics?format=prometheus",
+            headers={"Accept": "text/plain"},
+        )
+        with urllib.request.urlopen(request, timeout=5) as response:
+            text = response.read().decode()
+        assert "arcs_serve_queue_depth" in text
+
+    def test_drain_joins_workers_and_unlinks_blocks(self, model_dir):
+        server = MultiProcessServer(
+            model_dir, port=0, workers=2, refresh_interval=-1,
+        )
+        server.start()
+        pids = server.worker_pids()
+        model_id = server.registry.models()[0].model_id
+        shm_path = Path("/dev/shm") / server.publisher.block_for(
+            model_id
+        )
+        if Path("/dev/shm").is_dir():
+            assert shm_path.exists()
+        server.drain(timeout=15.0)
+        assert server.wait(timeout=1.0)
+        for pid in pids:
+            # A zombie still answers signal 0 until reaped; join did
+            # the reaping, so the pid must be gone (or recycled).
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        if Path("/dev/shm").is_dir():
+            assert not shm_path.exists()
+        # New scoring work is refused outright: the socket is closed.
+        with pytest.raises(OSError):
+            _post(server.url, "/predict",
+                  {"model": "groupA", "x": 25, "y": 60_000}, timeout=2)
+        server.drain()  # idempotent
+
+    def test_watchdog_restarts_killed_worker(self, pool):
+        victim = pool.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        assert _wait_until(
+            lambda: victim not in pool.worker_pids()
+            and len(pool.worker_pids()) == 2
+        )
+
+        def answers():
+            try:
+                status, _ = _get(pool.url, "/healthz", timeout=2)
+                return status == 200
+            except OSError:
+                return False
+
+        assert _wait_until(answers)
+
+    def test_hot_reload_serves_new_model(self, pool, model_dir):
+        second = Segmentation.from_rules(
+            [make_rule(0, 10, 0, 10, rhs="B")]
+        )
+        save_segmentation(second, model_dir / "groupB.json")
+        assert pool.poll_models()
+
+        def new_model_answers():
+            status, body = _post(pool.url, "/predict",
+                                 {"model": "groupB", "x": 5, "y": 5})
+            return status == 200 and body["in_segment"]
+
+        # Workers pick up the sync on their control loop; both must
+        # converge (the kernel round-robins accepts, so poll plenty).
+        assert _wait_until(new_model_answers)
+        assert _wait_until(lambda: all(
+            new_model_answers() for _ in range(8)
+        ))
