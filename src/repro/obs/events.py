@@ -41,6 +41,8 @@ __all__ = [
     "EventSink",
     "enable_events",
     "disable_events",
+    "forget_events",
+    "reinit_after_fork",
     "events_enabled",
     "active_sink",
     "emit",
@@ -173,6 +175,33 @@ def disable_events() -> None:
     if _active is not None:
         _active.close()
     _active = None
+
+
+def forget_events() -> None:
+    """Drop the active sink *without* closing it; :func:`emit` no-ops.
+
+    For freshly forked children: the inherited sink shares the parent's
+    file descriptor (closing would flush a fork-copied partial buffer
+    into the parent's log) and its lock may have been held by a parent
+    thread that does not exist in the child.  Dropping the reference is
+    the only fork-safe move; the child then installs its own sink.
+    """
+    global _active
+    _active = None
+
+
+def reinit_after_fork() -> None:
+    """Give the active sink a fresh lock (forked children only).
+
+    Counterpart of :func:`repro.obs.metrics.reinit_after_fork`,
+    registered as an ``os.register_at_fork`` child hook by the
+    multi-process serving front end.  A serve worker forgets this sink
+    right afterwards (:func:`forget_events`); the re-armed lock just
+    guarantees nothing can deadlock in the window before it does.
+    """
+    sink = _active
+    if sink is not None:
+        sink._lock = threading.Lock()
 
 
 def events_enabled() -> bool:

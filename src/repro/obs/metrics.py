@@ -50,6 +50,7 @@ __all__ = [
     "enabled",
     "active",
     "swap_registry",
+    "reinit_after_fork",
     "inc",
     "set_gauge",
     "observe",
@@ -414,6 +415,20 @@ def swap_registry(
     previous = _active
     _active = registry
     return previous
+
+
+def reinit_after_fork() -> None:
+    """Give the active registry a fresh lock (forked children only).
+
+    A thread in the parent may hold the registry lock at ``fork`` time;
+    the child's inherited copy would then be locked forever with no
+    owning thread, deadlocking the child's first emit.  Registered as
+    an ``os.register_at_fork`` child hook by the multi-process serving
+    front end (:mod:`repro.serve.workers`).
+    """
+    registry = _active
+    if registry is not None:
+        registry._lock = threading.Lock()
 
 
 # ----------------------------------------------------------------------

@@ -24,11 +24,26 @@ the GIL; this module scales it across cores, gunicorn-style:
 **Shared-memory lifecycle on hot reload**: blocks are content-hash
 keyed, so an edited artefact publishes a *new* block under a new name —
 never a mutation of a mapped one.  Every publication bumps a
-*generation*; workers acknowledge each generation after re-attaching,
-and a replaced block is unlinked only once every live worker has
-acknowledged a generation at or past its retirement (an in-flight
-request keeps its mapping valid regardless — ``shm_unlink`` removes the
-name, not existing mappings).
+*generation*; every spawned worker counts against the unlink floor from
+the moment it forks, workers acknowledge each generation after
+re-attaching, and a replaced block is unlinked only once every live
+worker has acknowledged a generation at or past its retirement.  An
+in-flight request keeps its mapping valid regardless: ``shm_unlink``
+removes the name, not existing mappings, and the worker side never
+*closes* a mapping while a scorer view over it is alive —
+``SharedMemory.close`` unmaps immediately even under live numpy views,
+so each attach defers the close to a finalizer on the last view
+(:func:`_close_mapping_when_views_die`) and the
+:class:`SharedScorerCache` only ever drops references.
+
+**Fork safety**: the watchdog forks replacement workers from a
+supervision thread while the refresh and ack loops keep running, so a
+freshly forked child re-arms the metrics-registry and event-sink locks
+via ``os.register_at_fork`` hooks (the stdlib ``logging`` module
+guards its own handler locks the same way) before
+:func:`_reset_child_observability` swaps in per-process instances; the
+inherited event sink is forgotten, never closed, so a fork-copied
+partial buffer cannot be flushed into the parent's log.
 
 **Graceful drain** (SIGTERM via the CLI, or :meth:`drain` directly):
 the parent broadcasts ``drain``; each worker stops accepting, answers
@@ -56,6 +71,7 @@ import os
 import signal
 import struct
 import threading
+import weakref
 from dataclasses import dataclass
 from multiprocessing.shared_memory import SharedMemory
 from pathlib import Path
@@ -133,23 +149,29 @@ def publish_tables(scorer: CompiledScorer, name: str) -> SharedMemory:
     """
     arrays = {field: getattr(scorer, field) for field in _TABLE_FIELDS}
     header: dict = {}
-    offset = 0  # patched once the header length is known
     for field, array in arrays.items():
         header[field] = {
             "dtype": array.dtype.str,
             "shape": list(array.shape),
             "offset": 0,
         }
-    # Two passes: the header's own encoded size shifts the offsets, and
-    # the offsets change the header text.  Reserving a fixed-width
-    # offset encoding sidesteps the fixpoint: compute offsets against a
-    # header padded to its final size.
-    for _ in range(2):
+    # The header's own encoded size shifts the array offsets, and the
+    # offsets' digit count feeds back into the header text, so iterate
+    # to a fixpoint: a header must never be stored with offsets
+    # computed from a shorter encoding than the one written (its tail
+    # would overlap the first array).  Offsets only grow with header
+    # length and their digit count is bounded, so this settles fast.
+    while True:
         encoded = json.dumps(header, sort_keys=True).encode("ascii")
         offset = _aligned(_LENGTH.size + len(encoded))
+        changed = False
         for field, array in arrays.items():
-            header[field]["offset"] = offset
+            if header[field]["offset"] != offset:
+                header[field]["offset"] = offset
+                changed = True
             offset = _aligned(offset + array.nbytes)
+        if not changed:
+            break
     total = offset
     try:
         shm = SharedMemory(create=True, name=name, size=total)
@@ -159,7 +181,6 @@ def publish_tables(scorer: CompiledScorer, name: str) -> SharedMemory:
         stale.unlink()
         logger.warning("removed stale shared-memory block %s", name)
         shm = SharedMemory(create=True, name=name, size=total)
-    encoded = json.dumps(header, sort_keys=True).encode("ascii")
     shm.buf[:_LENGTH.size] = _LENGTH.pack(len(encoded))
     shm.buf[_LENGTH.size:_LENGTH.size + len(encoded)] = encoded
     for field, array in arrays.items():
@@ -187,15 +208,49 @@ def _release_block(shm: SharedMemory, model_id: str) -> None:
                        "externally", model_id)
 
 
+def _close_mapping_when_views_die(shm: SharedMemory,
+                                  views: tuple[np.ndarray, ...]) -> None:
+    """Close ``shm`` only once every view over it has been collected.
+
+    ``SharedMemory.close`` unmaps immediately — numpy views built over
+    ``shm.buf`` hold no buffer export that would make it fail, and the
+    object's ``__del__`` calls it too — so a close (or a plain garbage
+    collection of the handle) racing an in-flight ``score_batch`` turns
+    the scorer's arrays into dangling pointers: a segfault, not an
+    exception.  Registering a finalizer per view makes *dropping
+    references* the only cleanup a holder ever needs: the finalizer
+    registry keeps ``shm`` alive exactly as long as the last view, then
+    the mapping is closed once.
+    """
+    # Not a per-call mistake: each mapping needs its own countdown
+    # lock, shared by that mapping's view finalizers via the closure.
+    lock = threading.Lock()  # arcs-analyze: ignore[concurrency]
+    remaining = [len(views)]
+
+    def _view_collected() -> None:
+        with lock:
+            remaining[0] -= 1
+            last = remaining[0] == 0
+        if last:
+            shm.close()
+
+    for view in views:
+        weakref.finalize(view, _view_collected)
+
+
 def attach_scorer(name: str,
                   segmentation: Segmentation,
                   ) -> tuple[CompiledScorer, SharedMemory]:
     """Attach published tables as a zero-copy :class:`CompiledScorer`.
 
-    The returned arrays are read-only views over the shared buffer —
-    keep the returned :class:`SharedMemory` alive as long as the scorer
-    is in use.  Raises :class:`FileNotFoundError` when the block does
-    not exist (callers fall back to a local compile).
+    The returned arrays are read-only views over the shared buffer.
+    The mapping outlives them automatically: a finalizer on each view
+    defers ``close`` until the last one is collected
+    (:func:`_close_mapping_when_views_die`), so callers simply drop
+    references when done — closing the returned :class:`SharedMemory`
+    by hand while the scorer may still be scoring is unsafe.  Raises
+    :class:`FileNotFoundError` when the block does not exist (callers
+    fall back to a local compile).
     """
     shm = SharedMemory(name=name)
     (length,) = _LENGTH.unpack_from(shm.buf, 0)
@@ -208,6 +263,7 @@ def attach_scorer(name: str,
                           buffer=shm.buf, offset=spec["offset"])
         view.setflags(write=False)
         arrays[field] = view
+    _close_mapping_when_views_die(shm, tuple(arrays.values()))
     scorer = CompiledScorer(segmentation=segmentation, **arrays)
     return scorer, shm
 
@@ -267,8 +323,25 @@ class ScorerPublisher:
                     )
             return self._generation
 
+    def register_worker(self, worker_index: int) -> None:
+        """Count a spawned worker against the unlink floor immediately.
+
+        Seeding generation 0 at spawn time keeps the documented "every
+        live worker has acknowledged" invariant through the startup
+        window: a block retired before a fresh worker delivers its
+        first ack stays mapped until that worker actually re-attaches.
+        ``setdefault`` so an ack racing the registration is kept.
+        """
+        with self._lock:
+            self._acked.setdefault(worker_index, 0)
+
     def note_ack(self, worker_index: int, generation: int) -> None:
-        """Record a worker's re-attach ack; unlink fully-acked blocks."""
+        """Record a worker's re-attach ack; unlink fully-acked blocks.
+
+        The floor is the minimum over every *registered* worker
+        (:meth:`register_worker` seeds each at spawn), so a worker that
+        has never acked holds every retirement back until it does.
+        """
         with self._lock:
             previous = self._acked.get(worker_index, 0)
             self._acked[worker_index] = max(previous, generation)
@@ -312,16 +385,23 @@ class SharedScorerCache:
     :class:`~repro.serve.service.PredictionService`: attaches the
     parent's block for the model's content hash, falling back to an
     in-process compile when no block exists (e.g. the parent has not
-    published a just-reloaded artefact yet).  ``sync`` drops entries
-    for models no longer served and retries fallbacks, so a worker
-    converges onto shared tables at the next generation.
+    published a just-reloaded artefact yet) or when its header is
+    unreadable (a torn write from a crashed publisher).  ``sync`` drops
+    entries for models no longer served and retries fallbacks, so a
+    worker converges onto shared tables at the next generation.
+
+    The cache never closes a shared mapping: a handler thread may be
+    mid-request through the attached numpy views, and
+    ``SharedMemory.close`` would unmap the buffer under it.  Every
+    method only drops references; the mapping closes itself once the
+    last view is collected (:func:`_close_mapping_when_views_die`).
     """
 
     def __init__(self, prefix: str):
         self.prefix = prefix
         self._lock = threading.Lock()
-        #: model_id -> (scorer, shm | None); the SharedMemory handle
-        #: must outlive every request using the attached arrays.
+        #: model_id -> (scorer, shm | None); the shm handle marks the
+        #: entry as shared (``None`` = local-compile fallback).
         self._entries: dict[str, tuple[CompiledScorer,
                                        SharedMemory | None]] = {}
 
@@ -334,10 +414,8 @@ class SharedScorerCache:
         with self._lock:
             raced = self._entries.get(model.model_id)
             if raced is not None:
-                # Another thread attached first; drop ours.
-                scorer, shm = built
-                if shm is not None:
-                    shm.close()
+                # Another thread attached first; drop ours — its
+                # mapping closes once its views are collected.
                 return raced[0]
             self._entries[model.model_id] = built
         return built[0]
@@ -348,8 +426,6 @@ class SharedScorerCache:
         name = block_name(self.prefix, model.model_id)
         try:
             scorer, shm = attach_scorer(name, model.segmentation)
-            metrics.inc("serve.shm_attached")
-            return scorer, shm
         except FileNotFoundError:
             logger.info(
                 "no shared block %s; compiling %s locally",
@@ -357,23 +433,36 @@ class SharedScorerCache:
             )
             metrics.inc("serve.shm_attach_fallbacks")
             return compile_scorer(model.segmentation), None
+        except (ValueError, KeyError, struct.error) as error:
+            # A block exists but its header does not parse: degrade to
+            # a local compile rather than turning every request for
+            # the model into a 500.
+            logger.warning(
+                "shared block %s is unreadable (%s: %s); compiling %s "
+                "locally", name, type(error).__name__, error, model.name,
+            )
+            metrics.inc("serve.shm_attach_fallbacks")
+            return compile_scorer(model.segmentation), None
+        metrics.inc("serve.shm_attached")
+        return scorer, shm
 
     def sync(self, served_ids: set[str]) -> None:
-        """Drop stale entries; re-attach fallbacks next time they score."""
+        """Drop stale entries; re-attach fallbacks next time they score.
+
+        Dropped shared entries are released, never closed here — a
+        request racing a model removal keeps its views valid, and the
+        mapping closes once the last of them is collected.
+        """
         with self._lock:
-            kept = {}
-            for model_id, (scorer, shm) in self._entries.items():
-                if model_id in served_ids and shm is not None:
-                    kept[model_id] = (scorer, shm)
-                elif shm is not None:
-                    shm.close()
-            self._entries = kept
+            self._entries = {
+                model_id: entry
+                for model_id, entry in self._entries.items()
+                if model_id in served_ids and entry[1] is not None
+            }
 
     def close(self) -> None:
+        """Drop every entry; mappings close as their views die."""
         with self._lock:
-            for _, shm in self._entries.values():
-                if shm is not None:
-                    shm.close()
             self._entries = {}
 
 
@@ -433,18 +522,49 @@ class _AdoptedSocketServer(PredictionServer):
         self.service = service
 
 
+_fork_hooks_installed = False
+
+
+def _install_fork_hooks() -> None:
+    """Re-arm obs locks in every forked child (``os.register_at_fork``).
+
+    The watchdog forks replacement workers from a supervision thread
+    while the refresh and ack loops keep running; whatever lock one of
+    them holds at that instant — the metrics registry's, the event
+    sink's — is copied into the child in the locked state with no
+    owning thread, and the child's first emit would deadlock forever.
+    The stdlib ``logging`` module re-inits its own handler locks the
+    same way (3.7.4+); these hooks cover the obs state, running before
+    any child code so even the window ahead of
+    :func:`_reset_child_observability` is safe.  Registration cannot be
+    undone, so it happens on first :class:`MultiProcessServer`
+    construction rather than at import.
+    """
+    global _fork_hooks_installed
+    if _fork_hooks_installed:
+        return
+    _fork_hooks_installed = True
+    os.register_at_fork(after_in_child=metrics.reinit_after_fork)
+    os.register_at_fork(after_in_child=events.reinit_after_fork)
+
+
 def _reset_child_observability(config: WorkerConfig) -> None:
     """Give a freshly forked worker its own observability state.
 
-    ``fork`` copies the parent's registries — including lock state and
-    buffered sinks — mid-flight; a worker must own fresh instances, and
-    metrics become per-process from here on (scrape each worker, or
-    aggregate externally).
+    ``fork`` copies the parent's registries — including buffered sinks —
+    mid-flight; a worker must own fresh instances, and metrics become
+    per-process from here on (scrape each worker, or aggregate
+    externally).  The inherited event sink is *forgotten*, never
+    closed: closing would flush a fork-copied partial buffer into the
+    parent's log through the shared descriptor, and its lock may have
+    been held by a parent thread that does not exist here (the
+    ``os.register_at_fork`` hooks re-armed it already — see
+    :func:`_install_fork_hooks`).
     """
     metrics.enable(metrics.MetricsRegistry())
     if config.trace_spans:
         tracing.enable()
-    events.disable_events()
+    events.forget_events()
     if config.events_out:
         events.enable_events(config.events_out)
 
@@ -539,6 +659,7 @@ class MultiProcessServer:
                 "(Linux/macOS); use the threaded server (--workers 0) "
                 "on this platform"
             )
+        _install_fork_hooks()
         import socket as socket_module
 
         self.worker_count = int(workers)
@@ -634,6 +755,9 @@ class MultiProcessServer:
         """Fork worker ``index``; the caller records the returned
         (process, control pipe) pair under ``self._lock``."""
         parent_end, child_end = self._context.Pipe()
+        # Before the fork: the new worker must hold back retirements
+        # from its very first moment, not from its first ack.
+        self.publisher.register_worker(index)
         process = self._context.Process(
             target=_worker_main,
             name=f"arcs-worker-{index}",

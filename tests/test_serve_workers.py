@@ -6,10 +6,12 @@ pre-fork :class:`MultiProcessServer` end to end over live HTTP —
 including graceful drain, worker restart and hot reload.
 """
 
+import gc
 import json
 import multiprocessing
 import os
 import signal
+import struct
 import time
 import urllib.error
 import urllib.request
@@ -33,6 +35,7 @@ from repro.serve import (
 )
 from repro.serve.workers import (
     ScorerPublisher,
+    _close_mapping_when_views_die,
     attach_scorer,
     block_name,
     publish_tables,
@@ -161,6 +164,64 @@ class TestSharedTables:
             second.close()
             second.unlink()
 
+    def test_header_never_overlaps_first_array(self):
+        # The header's offset digits feed back into its own encoded
+        # length; sweep header sizes (rule counts) and assert the
+        # stored header always fits below the first array region and
+        # the tables round-trip bit-identically.
+        for n_rules in (1, 3, 7, 15, 31):
+            seg = Segmentation.from_rules([
+                make_rule(i, i + 0.5, 10.0 * i, 10.0 * i + 5.0)
+                for i in range(n_rules)
+            ])
+            scorer = compile_scorer(seg)
+            name = f"arcstest{os.getpid():x}_fix{n_rules}"
+            shm = publish_tables(scorer, name)
+            try:
+                (length,) = struct.unpack_from("<Q", shm.buf, 0)
+                header = json.loads(bytes(shm.buf[8:8 + length]))
+                first_offset = min(
+                    spec["offset"] for spec in header.values()
+                )
+                assert 8 + length <= first_offset
+                attached, _handle = attach_scorer(name, seg)
+                assert np.array_equal(attached.table, scorer.table)
+                assert np.array_equal(attached.x_edges, scorer.x_edges)
+                assert np.array_equal(attached.y_edges, scorer.y_edges)
+            finally:
+                shm.close()
+                shm.unlink()
+
+
+class TestDeferredMappingClose:
+    def test_mapping_survives_until_last_view_dies(self):
+        shm = SharedMemory(
+            create=True, name=f"arcstest{os.getpid():x}_defer",
+            size=1024,
+        )
+        name = shm.name
+        views = [
+            np.ndarray((8,), dtype=np.uint8, buffer=shm.buf,
+                       offset=8 * i)
+            for i in range(3)
+        ]
+        views[0][:] = 3
+        _close_mapping_when_views_die(shm, tuple(views))
+        survivor = views.pop(0)
+        del views
+        del shm  # SharedMemory.__del__ would close; finalizers hold it
+        gc.collect()
+        # Two views died and the handle was dropped, but the surviving
+        # view must still read through a live mapping (a dangling one
+        # would segfault the process, not raise).
+        assert survivor[0] == 3
+        del survivor
+        gc.collect()
+        # The close fired (not the unlink): the name is re-attachable.
+        cleanup = SharedMemory(name=name)
+        cleanup.close()
+        cleanup.unlink()
+
 
 class TestSharedScorerCache:
     def test_falls_back_to_local_compile(self, model_dir,
@@ -195,6 +256,58 @@ class TestSharedScorerCache:
             # not in the LRU-cached compile.
             assert resolved is not compile_compile
             assert np.array_equal(resolved.table, scorer.table)
+        finally:
+            cache.close()
+            shm.close()
+            shm.unlink()
+
+    def test_sync_keeps_mapping_alive_for_inflight_scorers(
+            self, model_dir):
+        registry = ModelRegistry(model_dir, refresh_interval=-1).load()
+        model = registry.models()[0]
+        prefix = f"arcstest{os.getpid():x}inflt"
+        published = publish_tables(
+            compile_scorer(model.segmentation),
+            block_name(prefix, model.model_id),
+        )
+        cache = SharedScorerCache(prefix)
+        try:
+            scorer = cache.resolve(model)
+            # A hot reload drops the model while this "request" still
+            # holds the scorer: the entry goes away, but the shared
+            # views must stay valid (a closed mapping would segfault).
+            cache.sync(set())
+            with cache._lock:
+                assert cache._entries == {}
+            x, y = [25.0, 70.0], [60_000.0, 30_000.0]
+            assert np.array_equal(
+                scorer.score_batch(x, y),
+                score_batch_scalar(model.segmentation, x, y),
+            )
+        finally:
+            cache.close()
+            published.close()
+            published.unlink()
+
+    def test_corrupt_block_falls_back_to_local_compile(
+            self, model_dir, segmentation):
+        registry = ModelRegistry(model_dir, refresh_interval=-1).load()
+        model = registry.models()[0]
+        prefix = f"arcstest{os.getpid():x}bad"
+        shm = SharedMemory(
+            create=True, name=block_name(prefix, model.model_id),
+            size=1024,
+        )
+        shm.buf[:8] = struct.pack("<Q", 64)
+        shm.buf[8:72] = b"{" * 64  # torn header: not valid JSON
+        cache = SharedScorerCache(prefix)
+        try:
+            scorer = cache.resolve(model)  # must degrade, not raise
+            x, y = [25.0], [60_000.0]
+            assert np.array_equal(
+                scorer.score_batch(x, y),
+                score_batch_scalar(segmentation, x, y),
+            )
         finally:
             cache.close()
             shm.close()
@@ -249,6 +362,30 @@ class TestScorerPublisher:
             publisher.note_ack(0, retire_generation)  # must not raise
         finally:
             publisher.close()  # must not raise either
+
+    def test_spawned_but_unacked_worker_blocks_unlink(
+            self, model_dir, segmentation):
+        # The startup window: worker 1 is forked (registered) but has
+        # never acked; a retirement must wait for its first ack even
+        # though every worker that HAS acked is already past it.
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        publisher = ScorerPublisher(f"arcstest{os.getpid():x}seed")
+        try:
+            publisher.sync(registry.models())
+            publisher.register_worker(0)
+            publisher.register_worker(1)
+            name = publisher.block_for(registry.models()[0].model_id)
+            (model_dir / "groupA.json").unlink()
+            registry.refresh()
+            retire_generation = publisher.sync(registry.models())
+            publisher.note_ack(0, retire_generation)
+            attached, handle = attach_scorer(name, segmentation)
+            handle.close()
+            publisher.note_ack(1, retire_generation)
+            with pytest.raises(FileNotFoundError):
+                attach_scorer(name, segmentation)
+        finally:
+            publisher.close()
 
     def test_dead_worker_acks_reset(self, model_dir, segmentation):
         registry = ModelRegistry(model_dir, refresh_interval=0).load()
