@@ -72,6 +72,7 @@ SIZES = {
     "smoothing": (400, 160),
     "bitop_masks": (512, 160),
     "scorer": (100_000, 20_000),
+    "incremental": (100_000, 20_000),
 }
 
 
@@ -236,12 +237,70 @@ def bench_scorer(n: int, trials: int) -> dict:
     }
 
 
+def bench_incremental(n: int, trials: int) -> dict:
+    """Advance an n-tuple sliding window by one chunk (n/20 tuples):
+    full re-accumulation of the window vs the streaming delta update
+    (add the arriving chunk, remove the expiring one).
+
+    Both sides produce the identical BinArray — the streaming
+    invariant — so the ratio is a pure algorithmic win: the delta
+    touches 2 chunks of tuples where the rebuild touches the whole
+    window.  Here "scalar" means the rebuild (it uses the same
+    vectorised scatter), not a per-tuple loop.
+    """
+    rng = np.random.default_rng(606)
+    chunk = max(n // 20, 1)
+    x_layout = equi_width_layout("x", 0.0, 100.0, 50)
+    y_layout = equi_width_layout("y", 0.0, 100.0, 50)
+    encoding = CategoricalEncoding("group", ("A", "other"))
+    # The resident window [0, n) plus the arriving chunk [n, n+chunk);
+    # the oldest chunk [0, chunk) expires.
+    x_bins = rng.integers(0, 50, n + chunk, dtype=np.int64)
+    y_bins = rng.integers(0, 50, n + chunk, dtype=np.int64)
+    codes = rng.integers(0, 2, n + chunk, dtype=np.int64)
+    resident = BinArray(x_layout, y_layout, encoding)
+    resident.add_chunk(x_bins[:n], y_bins[:n], codes[:n])
+
+    def scalar() -> BinArray:
+        cube = BinArray(x_layout, y_layout, encoding)
+        cube.add_chunk(x_bins[chunk:], y_bins[chunk:], codes[chunk:])
+        return cube
+
+    def vectorized() -> BinArray:
+        cube = BinArray(x_layout, y_layout, encoding)
+        cube.counts[:] = resident.counts
+        cube.totals[:] = resident.totals
+        cube.n_total = resident.n_total
+        cube.add_chunk(x_bins[n:], y_bins[n:], codes[n:])
+        cube.remove_chunk(
+            x_bins[:chunk], y_bins[:chunk], codes[:chunk]
+        )
+        return cube
+
+    slow, fast = scalar(), vectorized()
+    assert np.array_equal(slow.counts, fast.counts), (
+        "incremental update diverged from the window rebuild"
+    )
+    assert np.array_equal(slow.totals, fast.totals), (
+        "incremental update diverged from the window rebuild"
+    )
+    assert slow.n_total == fast.n_total == n
+    return {
+        "name": "incremental",
+        "n": n,
+        "unit": "window tuples",
+        "scalar_seconds": best_of(scalar, trials=trials),
+        "vectorized_seconds": best_of(vectorized, trials=trials),
+    }
+
+
 BENCHMARKS = {
     "binner": bench_binner,
     "verifier": bench_verifier,
     "smoothing": bench_smoothing,
     "bitop_masks": bench_bitop_masks,
     "scorer": bench_scorer,
+    "incremental": bench_incremental,
 }
 
 

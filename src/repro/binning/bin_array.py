@@ -76,15 +76,45 @@ class BinArray:
         return int(self.counts.size + self.totals.size)
 
     # ------------------------------------------------------------------
-    # Accumulation (one streaming pass)
+    # Accumulation (one streaming pass) and expiry (windowed streams)
     # ------------------------------------------------------------------
+    def _validate_chunk(self, x_bins: np.ndarray, y_bins: np.ndarray,
+                        rhs_codes: np.ndarray) -> None:
+        """Reject malformed chunks before any counter is touched.
+
+        A silent out-of-range index would either crash ``np.bincount``
+        with an opaque message (negative values) or *alias* into a
+        neighbouring cell through the flattened index arithmetic
+        (too-large values) — both are data corruption, so every chunk is
+        bounds-checked here, shared by :meth:`add_chunk` and
+        :meth:`remove_chunk`.
+        """
+        if not (len(x_bins) == len(y_bins) == len(rhs_codes)):
+            raise ValueError("chunk arrays must have equal length")
+        for label, values, bound in (
+            ("x_bins", x_bins, self.n_x),
+            ("y_bins", y_bins, self.n_y),
+            ("rhs_codes", rhs_codes, self.rhs_encoding.cardinality),
+        ):
+            if len(values) == 0:
+                continue
+            low = int(values.min())
+            high = int(values.max())
+            if low < 0 or high >= bound:
+                bad = low if low < 0 else high
+                raise ValueError(
+                    f"{label} contains index {bad}, outside the valid "
+                    f"range [0, {bound})"
+                )
+
     def add_chunk(self, x_bins: np.ndarray, y_bins: np.ndarray,
                   rhs_codes: np.ndarray) -> None:
         """Accumulate one chunk of binned tuples.
 
         ``x_bins``/``y_bins`` are bin indices from the layouts;
         ``rhs_codes`` are RHS codes from the encoding.  All three arrays
-        must be the same length.
+        must be the same length, and every index must be in range
+        (:meth:`_validate_chunk`).
 
         The scatter is a :func:`np.bincount` over flattened cell indices
         (an order of magnitude faster than ``np.add.at``'s generic
@@ -95,27 +125,84 @@ class BinArray:
         x_bins = np.asarray(x_bins, dtype=np.int64)
         y_bins = np.asarray(y_bins, dtype=np.int64)
         rhs_codes = np.asarray(rhs_codes, dtype=np.int64)
-        if not (len(x_bins) == len(y_bins) == len(rhs_codes)):
-            raise ValueError("chunk arrays must have equal length")
+        self._validate_chunk(x_bins, y_bins, rhs_codes)
         if len(x_bins) == 0:
             return
+        count_delta, total_delta = self._chunk_grids(
+            x_bins, y_bins, rhs_codes
+        )
+        self.totals += total_delta
+        if self.single_target:
+            self.counts[:, :, 0] += count_delta
+        else:
+            self.counts += count_delta
+        self.n_total += len(x_bins)
+
+    def remove_chunk(self, x_bins: np.ndarray, y_bins: np.ndarray,
+                     rhs_codes: np.ndarray) -> None:
+        """Expire one chunk of previously accumulated binned tuples.
+
+        The exact inverse of :meth:`add_chunk` — the BinArray is an
+        additive counter grid, so a window of tuples can slide or tumble
+        without replaying the stream: expired tuples are subtracted as a
+        delta.  Removing a chunk that was never added (any counter would
+        go negative) raises :class:`ValueError` and leaves the array
+        untouched; bounds validation is shared with :meth:`add_chunk`.
+
+        Integer subtraction over the same :func:`np.bincount` grids as
+        the accumulation path keeps the result bit-identical to the
+        per-tuple reference (:func:`repro.perf.reference.remove_chunk_scalar`).
+        """
+        x_bins = np.asarray(x_bins, dtype=np.int64)
+        y_bins = np.asarray(y_bins, dtype=np.int64)
+        rhs_codes = np.asarray(rhs_codes, dtype=np.int64)
+        self._validate_chunk(x_bins, y_bins, rhs_codes)
+        if len(x_bins) == 0:
+            return
+        count_delta, total_delta = self._chunk_grids(
+            x_bins, y_bins, rhs_codes
+        )
+        counts = (
+            self.counts[:, :, 0] if self.single_target else self.counts
+        )
+        # Check-then-apply: a failed removal must not corrupt the grid.
+        if (total_delta > self.totals).any() or (
+            count_delta > counts
+        ).any():
+            raise ValueError(
+                "remove_chunk would drive cell counts negative; the "
+                "chunk was not (fully) accumulated in this BinArray"
+            )
+        self.totals -= total_delta
+        counts -= count_delta
+        self.n_total -= len(x_bins)
+
+    def _chunk_grids(self, x_bins: np.ndarray, y_bins: np.ndarray,
+                     rhs_codes: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """The per-cell delta grids one chunk contributes.
+
+        Returns ``(count_delta, total_delta)``: the totals grid is
+        always ``(n_x, n_y)``; the counts grid is ``(n_x, n_y)`` in
+        single-target mode and ``(n_x, n_y, n_seg)`` otherwise.
+        """
         n_x, n_y = self.n_x, self.n_y
         flat_cells = x_bins * n_y + y_bins
-        self.totals += np.bincount(
+        total_delta = np.bincount(
             flat_cells, minlength=n_x * n_y
         ).reshape(n_x, n_y)
         if self.single_target:
             hit_cells = flat_cells[rhs_codes == self.target_code]
-            self.counts[:, :, 0] += np.bincount(
+            count_delta = np.bincount(
                 hit_cells, minlength=n_x * n_y
             ).reshape(n_x, n_y)
         else:
             n_seg = self.counts.shape[2]
             flat = flat_cells * n_seg + rhs_codes
-            self.counts += np.bincount(
+            count_delta = np.bincount(
                 flat, minlength=n_x * n_y * n_seg
             ).reshape(n_x, n_y, n_seg)
-        self.n_total += len(x_bins)
+        return count_delta, total_delta
 
     # ------------------------------------------------------------------
     # Queries

@@ -13,6 +13,10 @@ Subcommands mirror the library workflow:
 * ``arcs serve`` — serve a directory of saved segmentations over HTTP
   (``/predict``, ``/predict_batch``, ``/explain``, ``/models``,
   ``/healthz``, ``/metrics``, ``/stats`` — see ``docs/serving.md``);
+* ``arcs watch`` — stream a CSV replay or tailed JSONL file through a
+  tumbling/sliding tuple window, refit on cadence, and atomically
+  publish refreshed artefacts into a ``serve`` models directory (see
+  ``docs/streaming.md``);
 * ``arcs score`` — apply a saved segmentation to a CSV offline;
 * ``arcs drift`` — compare two occupancy snapshots (training BinArray,
   segmentation artefact with an embedded reference profile, or a
@@ -230,6 +234,74 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shed requests with HTTP 429 once N "
                             "submissions are queued (default 256)")
     _add_obs_flags(serve)
+
+    watch = commands.add_parser(
+        "watch",
+        help="continuously refit a tuple stream and publish refreshed "
+             "segmentations into a served model directory",
+    )
+    watch.add_argument(
+        "data", type=Path,
+        help="CSV to replay (bounded), or JSONL file to tail with "
+             "--follow",
+    )
+    watch.add_argument("--x", required=True, help="first LHS attribute")
+    watch.add_argument("--y", required=True, help="second LHS attribute")
+    watch.add_argument("--rhs", required=True,
+                       help="segmentation (criterion) attribute")
+    watch.add_argument("--target", required=True,
+                       help="criterion value to segment on")
+    watch.add_argument(
+        "--models", type=Path, required=True,
+        help="model directory to publish refreshed artefacts into "
+             "(the directory `arcs serve` hot-reloads from)",
+    )
+    watch.add_argument(
+        "--name", default=None,
+        help="artefact stem; refits overwrite <models>/<name>.json "
+             "(default watch_<target>)",
+    )
+    watch.add_argument("--mode", default="tumbling",
+                       choices=("tumbling", "sliding"),
+                       help="window shape (default tumbling)")
+    watch.add_argument(
+        "--window", type=int, default=5000, metavar="N",
+        help="tuples per window: the refit period for tumbling "
+             "windows, the retained history for sliding ones",
+    )
+    watch.add_argument(
+        "--refit-every", type=int, default=None, metavar="N",
+        help="sliding mode: tuples between refits (default: refit "
+             "after every ingested chunk)",
+    )
+    watch.add_argument("--bins", type=int, default=50,
+                       help="bins per LHS attribute (paper default 50)")
+    watch.add_argument("--strategy", default="equi-width",
+                       choices=STRATEGIES)
+    watch.add_argument("--chunk-rows", type=int, default=1024,
+                       help="tuples per ingested chunk")
+    watch.add_argument("--min-support", type=float, default=0.01)
+    watch.add_argument("--min-confidence", type=float, default=0.5)
+    watch.add_argument(
+        "--follow", action="store_true",
+        help="tail DATA as append-only JSONL (one object per line) "
+             "instead of replaying it as CSV",
+    )
+    watch.add_argument("--poll-interval", type=float, default=0.2,
+                       metavar="SECONDS",
+                       help="tail polling interval with --follow")
+    watch.add_argument(
+        "--idle-polls", type=int, default=25, metavar="N",
+        help="stop tailing after N consecutive empty polls with "
+             "--follow (0 tails forever)",
+    )
+    watch.add_argument("--max-refits", type=int, default=None,
+                       metavar="N",
+                       help="stop after N refits")
+    watch.add_argument("--pace", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="seconds between replayed chunks")
+    _add_obs_flags(watch)
 
     score = commands.add_parser(
         "score",
@@ -630,6 +702,122 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _infer_jsonl_specs(path: Path) -> list[AttributeSpec]:
+    """Infer a schema from a JSONL file's first record: numeric values
+    become quantitative attributes, everything else categorical."""
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                break
+        else:
+            raise SystemExit(f"arcs: {path} holds no records")
+    try:
+        record = json.loads(line)
+    except ValueError as error:
+        raise SystemExit(f"arcs: {path} is not JSONL: {error}")
+    if not isinstance(record, dict):
+        raise SystemExit(f"arcs: {path} lines must be JSON objects")
+    return [
+        quantitative(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+        else categorical(name)
+        for name, value in record.items()
+    ]
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    from repro.binning.binner import Binner
+    from repro.stream import (
+        CSVReplaySource,
+        JSONLTailSource,
+        RefitterConfig,
+        StreamRefitter,
+        StreamWindow,
+        WindowConfig,
+        run_watch,
+    )
+
+    with RunCapture("cli.watch", config={
+        "data": str(args.data),
+        "mode": args.mode,
+        "window": args.window,
+        "target": args.target,
+        "min_support": args.min_support,
+        "min_confidence": args.min_confidence,
+    }) as capture:
+        if args.follow:
+            specs = _infer_jsonl_specs(args.data)
+            source = JSONLTailSource(
+                args.data, specs, chunk_rows=args.chunk_rows,
+                poll_seconds=args.poll_interval,
+                idle_polls=args.idle_polls or None,
+            )
+        else:
+            # Spec inference needs a sample row; reject a header-only
+            # CSV here rather than with a schema-mismatch error.
+            with open(args.data) as handle:
+                handle.readline()
+                if not handle.readline().strip():
+                    raise SystemExit(f"arcs: {args.data} holds no tuples")
+            specs = _infer_specs(args.data)
+            source = CSVReplaySource(
+                args.data, specs, chunk_rows=args.chunk_rows,
+                pace_seconds=args.pace,
+            )
+        chunk_iter = source.chunks()
+        try:
+            first = next(chunk_iter)
+        except StopIteration:
+            raise SystemExit(f"arcs: {args.data} holds no tuples")
+        # The first chunk fixes the binning vocabulary: layouts prefer
+        # declared domains, and categorical encodings prefer declared
+        # values, so with a declared schema the grid is canonical no
+        # matter how the stream is chunked.  An RHS value that never
+        # appears in the first chunk of an undeclared schema fails
+        # loudly when it first arrives.
+        binner = Binner.fit(
+            first, args.x, args.y, args.rhs, args.bins, args.bins,
+            strategy=args.strategy,
+        )
+        window = StreamWindow(
+            binner.x_layout, binner.y_layout, binner.rhs_encoding,
+            WindowConfig(mode=args.mode, size=args.window,
+                         refit_every=args.refit_every),
+        )
+        name = args.name or f"watch_{args.target}"
+        try:
+            refitter = StreamRefitter(
+                binner.x_layout, binner.y_layout, binner.rhs_encoding,
+                window, _coerce_target(args.target), args.models, name,
+                RefitterConfig(min_support=args.min_support,
+                               min_confidence=args.min_confidence),
+            )
+        except NotADirectoryError as error:
+            raise SystemExit(f"arcs: {error}")
+        print(f"watching {args.data} ({args.mode} window of "
+              f"{args.window:,} tuples) -> {refitter.artefact_path}")
+
+        class _Resumed:
+            """The already-peeked first chunk, then the rest."""
+
+            def chunks(self):
+                yield first
+                yield from chunk_iter
+
+        summary = run_watch(
+            _Resumed(), refitter, max_refits=args.max_refits,
+            on_refresh=lambda record: print(f"  {record.describe()}"),
+        )
+    print(f"watched {summary.tuples:,} tuples in {summary.chunks} "
+          f"chunks: {summary.refits} refits, "
+          f"{summary.publishes} published")
+    _emit_run_report(args, capture.report)
+    return 0
+
+
 def _command_score(args: argparse.Namespace) -> int:
     import csv
 
@@ -833,6 +1021,7 @@ _COMMANDS = {
     "describe": _command_describe,
     "inspect": _command_inspect,
     "serve": _command_serve,
+    "watch": _command_watch,
     "score": _command_score,
     "drift": _command_drift,
 }

@@ -139,6 +139,27 @@ METRICS: dict[str, tuple[str, str]] = {
     'smoothing.cells_flipped':
         ('counter',
          'cells changed by the low-pass filter'),
+    'stream.publishes':
+        ('counter',
+         'refits whose changed content hash was atomically published'),
+    'stream.refit_seconds':
+        ('histogram',
+         'wall-clock per windowed refit (cluster + publish)'),
+    'stream.refits_run':
+        ('counter',
+         'windowed refits executed by the stream refitter'),
+    'stream.refits_skipped':
+        ('counter',
+         'refits whose segmentation content hash was unchanged (no publish)'),
+    'stream.tuples_expired':
+        ('counter',
+         'tuples expired from the window (sliding overflow or tumbling close)'),
+    'stream.tuples_ingested':
+        ('counter',
+         'tuples ingested into the stream window'),
+    'stream.window_tuples':
+        ('gauge',
+         'tuples currently contributing to the windowed BinArray'),
     'verifier.parallel_batches':
         ('counter',
          'repeat blocks dispatched to the verifier worker pool'),
@@ -173,6 +194,8 @@ SPANS: dict[str, str] = {
         'the `arcs remine` command (threshold re-mining)',
     'cli.score':
         'the `arcs score` command (CSV batch scoring)',
+    'cli.watch':
+        'the `arcs watch` command (stream -> window -> refit loop)',
     'cluster':
         'one clustering pass: mine, smooth, bitop, merge, prune',
     'fit_value':
@@ -197,6 +220,8 @@ SPANS: dict[str, str] = {
         'one HTTP request to the named serving endpoint',
     'smooth':
         'low-pass smoothing of the rule grid',
+    'stream.refit':
+        'one windowed refit: full clustering pass plus conditional publish',
     'verify':
         'sampled verification of the segmentation',
     'verify.exact':

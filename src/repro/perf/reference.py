@@ -76,6 +76,45 @@ def add_chunk_scalar(bin_array: BinArray, x_bins: np.ndarray,
     bin_array.n_total += len(x_bins)
 
 
+def remove_chunk_scalar(bin_array: BinArray, x_bins: np.ndarray,
+                        y_bins: np.ndarray,
+                        rhs_codes: np.ndarray) -> None:
+    """Per-tuple inverse scatter: the reference for
+    :meth:`repro.binning.bin_array.BinArray.remove_chunk`.
+
+    Decrements one tuple at a time with a per-tuple underflow check, so
+    an invalid removal fails on the exact offending tuple.  Unlike the
+    vectorised check-then-apply path it mutates as it goes; callers
+    comparing against :meth:`~repro.binning.bin_array.BinArray.remove_chunk`
+    feed it valid removals only.
+    """
+    if not (len(x_bins) == len(y_bins) == len(rhs_codes)):
+        raise ValueError("chunk arrays must have equal length")
+    counts, totals = bin_array.counts, bin_array.totals
+    single_target = bin_array.single_target
+    target_code = bin_array.target_code
+    for x, y, code in zip(x_bins, y_bins, rhs_codes):
+        if totals[x, y] <= 0:
+            raise ValueError(
+                f"cell ({x}, {y}) has no tuples left to remove"
+            )
+        totals[x, y] -= 1
+        if single_target:
+            if code == target_code:
+                if counts[x, y, 0] <= 0:
+                    raise ValueError(
+                        f"cell ({x}, {y}) has no target tuples left"
+                    )
+                counts[x, y, 0] -= 1
+        else:
+            if counts[x, y, code] <= 0:
+                raise ValueError(
+                    f"cell ({x}, {y}) holds no tuples of code {code}"
+                )
+            counts[x, y, code] -= 1
+    bin_array.n_total -= len(x_bins)
+
+
 def consume_scalar(binner, chunk: Table) -> None:
     """One Binner chunk through the scalar assignment + scatter path."""
     x_bins = assign_bins_scalar(

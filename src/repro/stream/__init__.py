@@ -1,0 +1,68 @@
+"""Streaming/incremental ARCS: windowed refits over a live tuple stream.
+
+The paper's central systems property — re-mining at new thresholds never
+re-reads the data — extends to the data itself: the
+:class:`~repro.binning.bin_array.BinArray` is an additive counter grid,
+so appends *and expiries* are pure deltas
+(:meth:`~repro.binning.bin_array.BinArray.add_chunk` /
+:meth:`~repro.binning.bin_array.BinArray.remove_chunk`).  This package
+turns that observation into a continuously-learning pipeline:
+
+* :mod:`repro.stream.source` — bounded and tailing event sources that
+  yield :class:`~repro.data.schema.Table` chunks (CSV replay, JSONL
+  tail, in-memory replay) with an injectable clock so pacing is
+  deterministic under test;
+* :mod:`repro.stream.window` — tumbling (``every_n``) and sliding
+  (``last_n``) tuple windows with chunked delta accounting over one
+  resident BinArray;
+* :mod:`repro.stream.refitter` — the refresh loop: re-run the full
+  engine→smooth→BitOp→prune pass on the current window, skip publishes
+  whose segmentation content hash is unchanged, and atomically publish
+  refreshed artefacts into a :class:`~repro.serve.registry.ModelRegistry`
+  directory so running servers hot-reload them with zero new serving
+  code.
+
+``arcs watch`` (see ``docs/streaming.md``) wires the three together.
+"""
+
+from repro.stream.refitter import (
+    RefitterConfig,
+    RefreshRecord,
+    StreamRefitter,
+    WatchSummary,
+    run_watch,
+    segmentation_content_hash,
+)
+from repro.stream.source import (
+    CSVReplaySource,
+    JSONLTailSource,
+    ManualClock,
+    SystemClock,
+    TableReplaySource,
+)
+from repro.stream.window import (
+    SLIDING,
+    TUMBLING,
+    StreamWindow,
+    WindowConfig,
+    WindowDelta,
+)
+
+__all__ = [
+    "CSVReplaySource",
+    "JSONLTailSource",
+    "ManualClock",
+    "RefitterConfig",
+    "RefreshRecord",
+    "SLIDING",
+    "StreamRefitter",
+    "StreamWindow",
+    "SystemClock",
+    "TUMBLING",
+    "TableReplaySource",
+    "WatchSummary",
+    "WindowConfig",
+    "WindowDelta",
+    "run_watch",
+    "segmentation_content_hash",
+]

@@ -1,0 +1,227 @@
+"""Event sources for the streaming pipeline.
+
+A *source* is anything with a ``chunks()`` method yielding
+:class:`~repro.data.schema.Table` chunks; the refit loop
+(:func:`repro.stream.refitter.run_watch`) consumes them one at a time,
+so only one chunk is ever resident — the paper's constant-memory
+streaming profile carries over unchanged.
+
+Three sources cover the replay-to-live spectrum:
+
+* :class:`TableReplaySource` — a bounded replay of an in-memory table
+  (tests, benchmarks);
+* :class:`CSVReplaySource` — a bounded replay of a CSV file through the
+  constant-memory :func:`repro.data.io.stream_csv` reader (smoke tests,
+  backfills);
+* :class:`JSONLTailSource` — a tail over an append-only JSONL file
+  (one JSON object per line, column name → value), polling for new
+  lines until the stream goes idle.
+
+Time never comes from the wall clock here: pacing and polling go
+through an injected :class:`SystemClock` / :class:`ManualClock`, so a
+replayed stream is deterministic under test (the static-analysis
+``no-wall-time`` checker enforces the discipline repo-wide).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.data.io import stream_csv
+from repro.data.schema import AttributeSpec, Table
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "CSVReplaySource",
+    "JSONLTailSource",
+    "ManualClock",
+    "SystemClock",
+    "TableReplaySource",
+]
+
+DEFAULT_CHUNK_ROWS = 1024
+
+
+class SystemClock:
+    """The real clock: monotonic reads, real sleeps."""
+
+    def now(self) -> float:
+        """Monotonic seconds (never wall-clock; see ``no-wall-time``)."""
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock:
+    """A deterministic clock for tests: sleeps advance a counter.
+
+    ``now()`` returns the sum of all requested sleeps, so a replay paced
+    through a ManualClock runs instantly yet observes exactly the same
+    sequence of clock reads as a real run.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self.elapsed
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.sleeps.append(seconds)
+        self.elapsed += seconds
+
+
+class TableReplaySource:
+    """Bounded replay of an in-memory table in fixed-size chunks."""
+
+    def __init__(self, table: Table, chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 pace_seconds: float = 0.0,
+                 clock: SystemClock | ManualClock | None = None):
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        if pace_seconds < 0:
+            raise ValueError("pace_seconds cannot be negative")
+        self.table = table
+        self.chunk_rows = chunk_rows
+        self.pace_seconds = pace_seconds
+        self.clock = clock or SystemClock()
+
+    def chunks(self) -> Iterator[Table]:
+        for index, chunk in enumerate(
+            self.table.iter_chunks(self.chunk_rows)
+        ):
+            if index and self.pace_seconds:
+                self.clock.sleep(self.pace_seconds)
+            yield chunk
+
+
+class CSVReplaySource:
+    """Bounded replay of a CSV file, one constant-memory chunk at a time.
+
+    ``pace_seconds`` optionally spaces the chunks out (through the
+    injected clock) to simulate live arrival rates.
+    """
+
+    def __init__(self, path: str | Path, specs: Sequence[AttributeSpec],
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 pace_seconds: float = 0.0,
+                 clock: SystemClock | ManualClock | None = None):
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        if pace_seconds < 0:
+            raise ValueError("pace_seconds cannot be negative")
+        self.path = Path(path)
+        self.specs = list(specs)
+        self.chunk_rows = chunk_rows
+        self.pace_seconds = pace_seconds
+        self.clock = clock or SystemClock()
+
+    def chunks(self) -> Iterator[Table]:
+        for index, chunk in enumerate(
+            stream_csv(self.path, self.specs, chunk_rows=self.chunk_rows)
+        ):
+            if index and self.pace_seconds:
+                self.clock.sleep(self.pace_seconds)
+            yield chunk
+
+
+class JSONLTailSource:
+    """Tail an append-only JSONL file as a stream of table chunks.
+
+    Each line is one JSON object mapping column names to values; lines
+    are batched into chunks of at most ``chunk_rows``.  When the file
+    runs dry the source flushes any partial chunk, then polls every
+    ``poll_seconds`` through the injected clock; after ``idle_polls``
+    consecutive empty polls it terminates (pass ``None`` to tail
+    forever).  Partial trailing lines (a writer mid-append) are left in
+    the file until the newline arrives, so a torn write is never parsed.
+    """
+
+    def __init__(self, path: str | Path, specs: Sequence[AttributeSpec],
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 poll_seconds: float = 0.2,
+                 idle_polls: int | None = 25,
+                 clock: SystemClock | ManualClock | None = None):
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        if poll_seconds < 0:
+            raise ValueError("poll_seconds cannot be negative")
+        if idle_polls is not None and idle_polls < 1:
+            raise ValueError("idle_polls must be >= 1 (or None)")
+        self.path = Path(path)
+        self.specs = list(specs)
+        self.chunk_rows = chunk_rows
+        self.poll_seconds = poll_seconds
+        self.idle_polls = idle_polls
+        self.clock = clock or SystemClock()
+
+    def _parse_line(self, line: str, line_number: int) -> dict:
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            raise ValueError(
+                f"{self.path}:{line_number} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"{self.path}:{line_number} is not a JSON object"
+            )
+        missing = [
+            spec.name for spec in self.specs if spec.name not in record
+        ]
+        if missing:
+            raise ValueError(
+                f"{self.path}:{line_number} is missing columns {missing}"
+            )
+        return record
+
+    def _as_chunk(self, records: list[dict]) -> Table:
+        return Table.from_columns(self.specs, {
+            spec.name: [record[spec.name] for record in records]
+            for spec in self.specs
+        })
+
+    def chunks(self) -> Iterator[Table]:
+        buffer: list[dict] = []
+        idle = 0
+        line_number = 0
+        with open(self.path, encoding="utf-8") as handle:
+            while True:
+                position = handle.tell()
+                line = handle.readline()
+                if line.endswith("\n"):
+                    idle = 0
+                    line_number += 1
+                    stripped = line.strip()
+                    if stripped:
+                        buffer.append(
+                            self._parse_line(stripped, line_number)
+                        )
+                    if len(buffer) >= self.chunk_rows:
+                        yield self._as_chunk(buffer)
+                        buffer = []
+                    continue
+                # No complete line: rewind past any torn tail, flush
+                # what we have, then wait for the writer.
+                handle.seek(position)
+                if buffer:
+                    yield self._as_chunk(buffer)
+                    buffer = []
+                idle += 1
+                if self.idle_polls is not None and idle > self.idle_polls:
+                    logger.info(
+                        "jsonl tail %s idle for %d polls; stopping",
+                        self.path, idle - 1,
+                    )
+                    return
+                self.clock.sleep(self.poll_seconds)

@@ -1,0 +1,241 @@
+"""Tuple windows over a resident BinArray with chunked delta accounting.
+
+A :class:`StreamWindow` owns one
+:class:`~repro.binning.bin_array.BinArray` plus the queue of binned
+chunks whose tuples it currently contains.  Arriving chunks are added
+as deltas (:meth:`~repro.binning.bin_array.BinArray.add_chunk`);
+expiring tuples are subtracted
+(:meth:`~repro.binning.bin_array.BinArray.remove_chunk`).  Because the
+counters are integers and both operations use identical scatter grids,
+the windowed array is **bit-identical** to a fresh array accumulated
+from exactly the window's surviving tuples — the invariant the
+streaming tests assert after arbitrary event interleavings.
+
+Two window shapes:
+
+* **tumbling** (``every_n``) — the window holds everything since the
+  last refit; once at least ``size`` tuples arrived a refit is due, and
+  :meth:`StreamWindow.mark_refit` then expires the whole window;
+* **sliding** (``last_n``) — the window always holds the most recent
+  ``size`` tuples; overflow expires from the oldest chunk (splitting it
+  when the boundary lands mid-chunk), and refits are due every
+  ``refit_every`` tuples (default: on every ingested chunk).
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.binning.bin_array import BinArray
+from repro.binning.categorical import CategoricalEncoding
+from repro.binning.strategies import BinLayout
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "SLIDING",
+    "TUMBLING",
+    "StreamWindow",
+    "WindowConfig",
+    "WindowDelta",
+]
+
+TUMBLING = "tumbling"
+SLIDING = "sliding"
+_MODES = (TUMBLING, SLIDING)
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Shape and cadence of the stream window.
+
+    Parameters
+    ----------
+    mode:
+        ``"tumbling"`` or ``"sliding"``.
+    size:
+        Tuples per window: the refit period for tumbling windows
+        (``every_n``), the retained history for sliding ones
+        (``last_n``).
+    refit_every:
+        Sliding windows only: tuples between refit triggers.  ``None``
+        refits after every ingested chunk (tumbling windows always
+        refit once ``size`` tuples accumulated).
+    """
+
+    mode: str = TUMBLING
+    size: int = 10_000
+    refit_every: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"window mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.size <= 0:
+            raise ValueError("window size must be positive")
+        if self.refit_every is not None and self.refit_every <= 0:
+            raise ValueError("refit_every must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class WindowDelta:
+    """What one ingested chunk did to the window."""
+
+    window_id: int
+    ingested: int
+    expired: int
+    window_tuples: int
+    refit_due: bool
+
+
+@dataclass
+class _BinnedChunk:
+    """One chunk's binned arrays, queued for eventual expiry."""
+
+    x_bins: np.ndarray
+    y_bins: np.ndarray
+    rhs_codes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.x_bins)
+
+    def split(self, n: int) -> tuple["_BinnedChunk", "_BinnedChunk"]:
+        """The first ``n`` tuples and the rest, as two chunks."""
+        head = _BinnedChunk(
+            self.x_bins[:n], self.y_bins[:n], self.rhs_codes[:n]
+        )
+        tail = _BinnedChunk(
+            self.x_bins[n:], self.y_bins[n:], self.rhs_codes[n:]
+        )
+        return head, tail
+
+
+@dataclass
+class StreamWindow:
+    """The current window's BinArray plus its chunk queue.
+
+    ``window_id`` names the refit generation: it starts at 0 and
+    increments on every :meth:`mark_refit`, so refresh events and
+    artefact provenance can reference a specific window.
+    """
+
+    x_layout: BinLayout
+    y_layout: BinLayout
+    rhs_encoding: CategoricalEncoding
+    config: WindowConfig = field(default_factory=WindowConfig)
+    target_code: int | None = None
+    bin_array: BinArray = field(init=False, repr=False)
+    window_id: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.bin_array = BinArray(
+            self.x_layout, self.y_layout, self.rhs_encoding,
+            target_code=self.target_code,
+        )
+        self._chunks: deque[_BinnedChunk] = deque()
+        self._window_tuples = 0
+        self._since_refit = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def window_tuples(self) -> int:
+        """Tuples currently contributing to the BinArray."""
+        return self._window_tuples
+
+    @property
+    def tuples_since_refit(self) -> int:
+        return self._since_refit
+
+    def surviving(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The window's current tuples as concatenated binned arrays.
+
+        This is the oracle side of the streaming invariant: a fresh
+        BinArray accumulated from exactly these arrays must equal
+        :attr:`bin_array` bit for bit.
+        """
+        if not self._chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        return (
+            np.concatenate([c.x_bins for c in self._chunks]),
+            np.concatenate([c.y_bins for c in self._chunks]),
+            np.concatenate([c.rhs_codes for c in self._chunks]),
+        )
+
+    # ------------------------------------------------------------------
+    # Delta accounting
+    # ------------------------------------------------------------------
+    def ingest(self, x_bins: np.ndarray, y_bins: np.ndarray,
+               rhs_codes: np.ndarray) -> WindowDelta:
+        """Add one binned chunk; expire overflow; report what changed."""
+        x_bins = np.asarray(x_bins, dtype=np.int64)
+        y_bins = np.asarray(y_bins, dtype=np.int64)
+        rhs_codes = np.asarray(rhs_codes, dtype=np.int64)
+        self.bin_array.add_chunk(x_bins, y_bins, rhs_codes)
+        ingested = len(x_bins)
+        if ingested:
+            self._chunks.append(_BinnedChunk(x_bins, y_bins, rhs_codes))
+            self._window_tuples += ingested
+            self._since_refit += ingested
+        expired = 0
+        if self.config.mode == SLIDING:
+            expired = self._expire_overflow()
+        return WindowDelta(
+            window_id=self.window_id,
+            ingested=ingested,
+            expired=expired,
+            window_tuples=self._window_tuples,
+            refit_due=self._refit_due(ingested),
+        )
+
+    def _refit_due(self, ingested: int) -> bool:
+        if self.config.mode == TUMBLING:
+            return self._since_refit >= self.config.size
+        if self.config.refit_every is None:
+            return ingested > 0
+        return self._since_refit >= self.config.refit_every
+
+    def _expire_overflow(self) -> int:
+        """Sliding mode: drop the oldest tuples beyond ``last_n``."""
+        expired = 0
+        while self._window_tuples > self.config.size:
+            over = self._window_tuples - self.config.size
+            oldest = self._chunks[0]
+            if len(oldest) <= over:
+                victim = self._chunks.popleft()
+            else:
+                victim, tail = oldest.split(over)
+                self._chunks[0] = tail
+            self.bin_array.remove_chunk(
+                victim.x_bins, victim.y_bins, victim.rhs_codes
+            )
+            self._window_tuples -= len(victim)
+            expired += len(victim)
+        return expired
+
+    def mark_refit(self) -> int:
+        """Close the current window after a refit ran.
+
+        Returns the number of tuples expired by the close: the whole
+        window for tumbling mode (the next window starts empty), zero
+        for sliding mode (history is governed by ``last_n`` alone).
+        """
+        self._since_refit = 0
+        self.window_id += 1
+        expired = 0
+        if self.config.mode == TUMBLING:
+            while self._chunks:
+                victim = self._chunks.popleft()
+                self.bin_array.remove_chunk(
+                    victim.x_bins, victim.y_bins, victim.rhs_codes
+                )
+                self._window_tuples -= len(victim)
+                expired += len(victim)
+        return expired

@@ -77,6 +77,103 @@ class TestAccumulation:
             array.count_grid(1)
 
 
+class TestChunkValidation:
+    """Out-of-range indices would alias into neighbouring cells through
+    the flattened bincount arithmetic; both scatter paths reject them."""
+
+    @pytest.mark.parametrize("x, y, code, label", [
+        ([4], [0], [0], "x_bins"),     # n_x == 4
+        ([-1], [0], [0], "x_bins"),
+        ([0], [3], [0], "y_bins"),     # n_y == 3
+        ([0], [-2], [0], "y_bins"),
+        ([0], [0], [2], "rhs_codes"),  # cardinality == 2
+        ([0], [0], [-1], "rhs_codes"),
+    ])
+    def test_add_chunk_rejects_out_of_range(self, x, y, code, label):
+        array = make_bin_array()
+        with pytest.raises(ValueError, match=label):
+            array.add_chunk(x, y, code)
+        # Validation happened before any counter was touched.
+        assert array.n_total == 0
+        assert not array.totals.any()
+
+    def test_remove_chunk_shares_the_validation(self):
+        array = make_bin_array()
+        array.add_chunk([0], [0], [0])
+        with pytest.raises(ValueError, match="x_bins"):
+            array.remove_chunk([4], [0], [0])
+        assert array.n_total == 1
+
+    def test_empty_chunks_are_fine(self):
+        array = make_bin_array()
+        array.add_chunk([], [], [])
+        array.remove_chunk([], [], [])
+        assert array.n_total == 0
+
+
+class TestRemoveChunk:
+    def test_remove_inverts_add(self):
+        array = make_bin_array()
+        array.add_chunk([0, 0, 1], [0, 0, 2], [0, 1, 0])
+        array.add_chunk([2, 3], [1, 2], [1, 0])
+        array.remove_chunk([0, 0, 1], [0, 0, 2], [0, 1, 0])
+        assert array.n_total == 2
+        assert array.totals[0, 0] == 0
+        assert array.count_grid(1)[2, 1] == 1
+        array.remove_chunk([2, 3], [1, 2], [1, 0])
+        assert array.n_total == 0
+        assert not array.counts.any()
+        assert not array.totals.any()
+
+    def test_partial_chunk_removal(self):
+        """A chunk can expire in pieces — the sliding window's split."""
+        array = make_bin_array()
+        array.add_chunk([0, 1, 2, 3], [0, 1, 2, 0], [0, 1, 0, 1])
+        array.remove_chunk([0, 1], [0, 1], [0, 1])
+        assert array.n_total == 2
+        assert array.totals[2, 2] == 1
+        assert array.totals[0, 0] == 0
+
+    def test_underflow_rejected_and_array_untouched(self):
+        array = make_bin_array()
+        array.add_chunk([0, 1], [0, 1], [0, 1])
+        before_counts = array.counts.copy()
+        before_totals = array.totals.copy()
+        # Cell (2, 2) was never accumulated: check-then-apply must
+        # leave every counter exactly as it was.
+        with pytest.raises(ValueError, match="negative"):
+            array.remove_chunk([0, 2], [0, 2], [0, 0])
+        assert np.array_equal(array.counts, before_counts)
+        assert np.array_equal(array.totals, before_totals)
+        assert array.n_total == 2
+
+    def test_code_mismatch_in_occupied_cell_rejected(self):
+        """The cell total would survive, but the per-code count would
+        not — the check covers both grids."""
+        array = make_bin_array()
+        array.add_chunk([0], [0], [0])
+        with pytest.raises(ValueError, match="negative"):
+            array.remove_chunk([0], [0], [1])
+
+    def test_single_target_mode_removal(self):
+        array = make_bin_array(target=0)
+        array.add_chunk([0, 0], [0, 0], [0, 1])
+        array.remove_chunk([0], [0], [1])  # non-target tuple
+        assert array.totals[0, 0] == 1
+        assert array.count_grid(0)[0, 0] == 1
+        array.remove_chunk([0], [0], [0])
+        assert array.totals[0, 0] == 0
+        assert array.count_grid(0)[0, 0] == 0
+
+    def test_single_target_mode_underflow_on_target_count(self):
+        array = make_bin_array(target=0)
+        array.add_chunk([0, 0], [0, 0], [1, 1])
+        # Two tuples in the cell, but neither was the target: removing
+        # a "target" tuple must fail even though totals could bear it.
+        with pytest.raises(ValueError, match="negative"):
+            array.remove_chunk([0], [0], [0])
+
+
 class TestQueries:
     @pytest.fixture()
     def filled(self):

@@ -113,6 +113,42 @@ class TestBinnerEquivalence:
             )
         self.assert_cubes_equal(slow, fast)
 
+    def test_remove_chunk_matches_scalar_reference(self):
+        """The inverse scatter is bit-identical to the per-tuple loop,
+        across full-cube and single-target modes."""
+        rng = np.random.default_rng(4)
+        for target_code in (None, 1):
+            n_x = rng.integers(0, 10, 4_000, dtype=np.int64)
+            n_y = rng.integers(0, 10, 4_000, dtype=np.int64)
+            codes = rng.integers(0, 3, 4_000, dtype=np.int64)
+            slow, fast = make_cube(target_code), make_cube(target_code)
+            for cube in (slow, fast):
+                cube.add_chunk(n_x, n_y, codes)
+            # Remove a random half of what was accumulated.
+            keep = rng.random(4_000) < 0.5
+            reference.remove_chunk_scalar(
+                slow, n_x[keep], n_y[keep], codes[keep]
+            )
+            fast.remove_chunk(n_x[keep], n_y[keep], codes[keep])
+            self.assert_cubes_equal(slow, fast)
+
+    def test_remove_chunk_empty_identical(self):
+        empty = np.array([], dtype=np.int64)
+        slow, fast = make_cube(), make_cube()
+        reference.remove_chunk_scalar(slow, empty, empty, empty)
+        fast.remove_chunk(empty, empty, empty)
+        self.assert_cubes_equal(slow, fast)
+
+    def test_scalar_reference_underflow_check(self):
+        cube = make_cube()
+        cube.add_chunk(
+            np.array([0]), np.array([0]), np.array([0])
+        )
+        with pytest.raises(ValueError, match="no tuples"):
+            reference.remove_chunk_scalar(
+                cube, np.array([1]), np.array([1]), np.array([0])
+            )
+
     def test_scalar_assignment_matches_layout(self):
         layout = equi_width_layout("x", 0.0, 1.0, 7)
         values = np.concatenate([

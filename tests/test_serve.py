@@ -216,6 +216,66 @@ class TestModelRegistry:
         assert not registry.maybe_refresh()
         assert len(registry) == 1
 
+    def test_refresh_survives_torn_partial_write(self, model_dir):
+        """A writer caught mid-write (valid JSON prefix, truncated
+        file) must not evict the healthy version already serving."""
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        old = registry.resolve("groupA")
+        path = model_dir / "groupA.json"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # torn mid-artefact
+        from repro.obs import metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        counters = metrics.enable(MetricsRegistry())
+        try:
+            registry.refresh()
+        finally:
+            metrics.disable()
+        assert registry.resolve("groupA") is old
+        assert counters.counter("serve.reload_errors").value == 1
+        # The writer finishes; the next refresh loads the new bytes.
+        path.write_bytes(raw)
+        registry.refresh()
+        assert registry.resolve("groupA").model_id == old.model_id
+
+    def test_refresh_survives_file_deleted_mid_scan(self, model_dir,
+                                                    monkeypatch):
+        """A file vanishing between the directory listing and the load
+        keeps the previous healthy snapshot serving."""
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        old = registry.resolve("groupA")
+        path = model_dir / "groupA.json"
+        listed = [path]
+
+        def scan_then_delete():
+            path.unlink(missing_ok=True)  # racing writer wins
+            return listed
+
+        monkeypatch.setattr(
+            registry, "_artefact_paths", scan_then_delete
+        )
+        registry.refresh()
+        assert registry.resolve("groupA") is old
+
+    def test_refresh_skips_brand_new_file_deleted_mid_scan(
+            self, model_dir, monkeypatch):
+        """A never-loaded artefact that vanishes mid-scan is skipped —
+        no crash, no phantom entry."""
+        registry = ModelRegistry(model_dir, refresh_interval=0).load()
+        ghost = model_dir / "ghost.json"
+
+        def scan_with_ghost():
+            ghost.unlink(missing_ok=True)
+            return sorted(model_dir.glob("*.json")) + [ghost]
+
+        monkeypatch.setattr(
+            registry, "_artefact_paths", scan_with_ghost
+        )
+        registry.refresh()
+        assert len(registry) == 1
+        assert "ghost" not in registry
+
 
 # ----------------------------------------------------------------------
 # Service endpoint logic (transport-free)

@@ -1,0 +1,152 @@
+"""Property-based tests of the window algebra.
+
+Hypothesis drives arbitrary interleavings of ingests, sliding expiries
+and refit closes, then checks the streaming invariant: the windowed
+BinArray always equals — exactly, on every integer counter — a fresh
+BinArray accumulated from the window's surviving tuples.  Because
+``add_chunk`` and ``remove_chunk`` share their scatter grids and the
+counters are int64, the equality is ``==``, not ``allclose``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning.bin_array import BinArray
+from repro.binning.categorical import CategoricalEncoding
+from repro.binning.strategies import equi_width_layout
+from repro.stream import SLIDING, TUMBLING, StreamWindow, WindowConfig
+
+N_X, N_Y, N_CODES = 5, 4, 3
+
+
+def make_window(mode, size, refit_every=None, target=None):
+    return StreamWindow(
+        equi_width_layout("x", 0, 5, N_X),
+        equi_width_layout("y", 0, 4, N_Y),
+        CategoricalEncoding("g", ("A", "B", "other")),
+        WindowConfig(mode=mode, size=size, refit_every=refit_every),
+        target_code=target,
+    )
+
+
+@st.composite
+def chunk_arrays(draw, max_len=12):
+    n = draw(st.integers(0, max_len))
+    ints = st.lists(st.integers(0, 10**9), min_size=n, max_size=n)
+    return (
+        np.array(draw(ints), dtype=np.int64) % N_X,
+        np.array(draw(ints), dtype=np.int64) % N_Y,
+        np.array(draw(ints), dtype=np.int64) % N_CODES,
+    )
+
+
+#: One stream event: a chunk to ingest, or a refit close.
+events = st.lists(
+    st.one_of(chunk_arrays(), st.just("refit")), min_size=1, max_size=30
+)
+
+
+def drive(window, sequence):
+    """Apply a generated event sequence to the window."""
+    for event in sequence:
+        if event == "refit":
+            window.mark_refit()
+        else:
+            window.ingest(*event)
+
+
+def fresh_equivalent(window):
+    xs, ys, codes = window.surviving()
+    fresh = BinArray(
+        window.x_layout, window.y_layout, window.rhs_encoding,
+        target_code=window.target_code,
+    )
+    fresh.add_chunk(xs, ys, codes)
+    return fresh, len(xs)
+
+
+def assert_invariant(window):
+    fresh, survivors = fresh_equivalent(window)
+    assert np.array_equal(fresh.counts, window.bin_array.counts)
+    assert np.array_equal(fresh.totals, window.bin_array.totals)
+    assert fresh.n_total == window.bin_array.n_total == survivors
+    assert window.window_tuples == survivors
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequence=events, size=st.integers(1, 25))
+def test_sliding_interleavings_round_trip(sequence, size):
+    window = make_window(SLIDING, size)
+    drive(window, sequence)
+    assert_invariant(window)
+    assert window.window_tuples <= size
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequence=events, size=st.integers(1, 25))
+def test_tumbling_interleavings_round_trip(sequence, size):
+    window = make_window(TUMBLING, size)
+    drive(window, sequence)
+    assert_invariant(window)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequence=events, size=st.integers(1, 25),
+       target=st.integers(0, N_CODES - 1))
+def test_single_target_mode_keeps_the_invariant(sequence, size, target):
+    window = make_window(SLIDING, size, target=target)
+    drive(window, sequence)
+    assert_invariant(window)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequence=events, size=st.integers(1, 25))
+def test_invariant_holds_at_every_step(sequence, size):
+    """Not just at the end: every intermediate state is exact."""
+    window = make_window(SLIDING, size)
+    for event in sequence:
+        if event == "refit":
+            window.mark_refit()
+        else:
+            window.ingest(*event)
+        assert_invariant(window)
+
+
+@settings(max_examples=60, deadline=None)
+@given(chunk=chunk_arrays(max_len=20))
+def test_add_then_remove_is_identity(chunk):
+    """remove_chunk is the exact inverse of add_chunk."""
+    array = BinArray(
+        equi_width_layout("x", 0, 5, N_X),
+        equi_width_layout("y", 0, 4, N_Y),
+        CategoricalEncoding("g", ("A", "B", "other")),
+    )
+    before_counts = array.counts.copy()
+    before_totals = array.totals.copy()
+    array.add_chunk(*chunk)
+    array.remove_chunk(*chunk)
+    assert np.array_equal(array.counts, before_counts)
+    assert np.array_equal(array.totals, before_totals)
+    assert array.n_total == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(chunks=st.lists(chunk_arrays(), min_size=2, max_size=6),
+       data=st.data())
+def test_removal_order_does_not_matter(chunks, data):
+    """Removing accumulated chunks in any order empties the array."""
+    array = BinArray(
+        equi_width_layout("x", 0, 5, N_X),
+        equi_width_layout("y", 0, 4, N_Y),
+        CategoricalEncoding("g", ("A", "B", "other")),
+    )
+    for chunk in chunks:
+        array.add_chunk(*chunk)
+    order = data.draw(st.permutations(range(len(chunks))))
+    for index in order:
+        array.remove_chunk(*chunks[index])
+    assert not array.counts.any()
+    assert not array.totals.any()
+    assert array.n_total == 0
