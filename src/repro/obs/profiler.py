@@ -118,7 +118,12 @@ class SamplingProfiler:
         started = perf_counter()
         while not self._stop.wait(self.interval):
             self._sample(own_id, main_id)
-        self.wall_seconds += perf_counter() - started
+        # Under the lock: reset() zeroes wall_seconds from other
+        # threads, and an unguarded += interleaves its load with that
+        # store.
+        elapsed = perf_counter() - started
+        with self._lock:
+            self.wall_seconds += elapsed
 
     def _sample(self, own_id: int, main_id: int | None) -> None:
         names = {

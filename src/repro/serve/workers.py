@@ -222,9 +222,9 @@ def _close_mapping_when_views_die(shm: SharedMemory,
     registry keeps ``shm`` alive exactly as long as the last view, then
     the mapping is closed once.
     """
-    # Not a per-call mistake: each mapping needs its own countdown
-    # lock, shared by that mapping's view finalizers via the closure.
-    lock = threading.Lock()  # arcs-analyze: ignore[concurrency]
+    # Each mapping needs its own countdown lock, shared by that
+    # mapping's view finalizers via the closure.
+    lock = threading.Lock()
     remaining = [len(views)]
 
     def _view_collected() -> None:
@@ -625,7 +625,7 @@ def _worker_main(index: int, worker_count: int, listen_socket,
         try:
             acks.put(("stopped", index))
         except (OSError, ValueError):
-            pass  # arcs-analyze: ignore[exception-policy] (parent gone)
+            pass  # parent gone
         logger.info("worker %d drained (pid %d)", index, os.getpid())
 
 
@@ -725,9 +725,14 @@ class MultiProcessServer:
         if self._started:
             raise WorkerError("server already started")
         self._started = True
-        with self._lock:
-            for index in range(self.worker_count):
-                process, control = self._spawn(index)
+        # Fork outside self._lock: the child inherits every lock in
+        # its at-fork state, so a fork under a held lock wedges the
+        # child the first time it touches that lock.  No supervision
+        # thread exists yet, but the recording still happens under the
+        # lock so the invariant is uniform with the watchdog's.
+        for index in range(self.worker_count):
+            process, control = self._spawn(index)
+            with self._lock:
                 self._processes[index] = process
                 self._controls[index] = control
         for thread_target in (self._ack_loop, self._refresh_loop,
@@ -877,24 +882,37 @@ class MultiProcessServer:
         while not self._stopping.wait(self.WATCHDOG_INTERVAL):
             with self._lock:
                 dead = [
-                    index
+                    (index, self._processes[index].exitcode,
+                     self._controls.get(index))
                     for index, process in self._processes.items()
                     if not process.is_alive()
                 ]
-                for index in dead:
-                    if self._stopping.is_set():
-                        break
-                    exitcode = self._processes[index].exitcode
-                    logger.warning(
-                        "worker %d died (exit %s); restarting",
-                        index, exitcode,
-                    )
-                    metrics.inc("serve.worker_restarts")
-                    self.publisher.reset_worker(index)
-                    try:
-                        self._controls[index].close()
-                    except OSError:
-                        logger.debug("dead worker pipe already closed")
-                    process, control = self._spawn(index)
+            for index, exitcode, old_control in dead:
+                if self._stopping.is_set():
+                    break
+                logger.warning(
+                    "worker %d died (exit %s); restarting",
+                    index, exitcode,
+                )
+                metrics.inc("serve.worker_restarts")
+                self.publisher.reset_worker(index)
+                try:
+                    if old_control is not None:
+                        old_control.close()
+                except OSError:
+                    logger.debug("dead worker pipe already closed")
+                # Fork outside self._lock (see start()): the child
+                # must never inherit a held registry lock.
+                process, control = self._spawn(index)
+                with self._lock:
                     self._processes[index] = process
                     self._controls[index] = control
+                if self._stopping.is_set():
+                    # drain() may have snapshotted the control table
+                    # before this respawn was recorded; closing the
+                    # fresh pipe makes the worker see EOF and drain
+                    # itself (it is daemonic either way).
+                    try:
+                        control.close()
+                    except OSError:
+                        pass

@@ -22,3 +22,47 @@ class CleanService:
 
     def read(self, key):
         return self.snapshot.get(key)
+
+
+class PrimitiveShapes:
+    """Per-call primitives that escape, primitive-typed attributes, and
+    private methods called only under the lock are all sanctioned."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self.jobs = {}
+
+    def schedule(self, worker):
+        done = threading.Event()  # escapes into the closure
+
+        def run():
+            worker()
+            done.set()
+
+        threading.Thread(target=run, daemon=True).start()
+        return done
+
+    def handoff(self):
+        self.ready = threading.Event()  # escapes via the attribute
+        return self.ready
+
+    def pause(self, timeout):
+        threading.Event().wait(timeout)  # interruptible-sleep idiom
+
+    def request_stop(self):
+        self._stop.set()  # mutator on a synchronisation primitive
+
+    def reset(self):
+        self._stop.clear()
+
+    def submit(self, name, job):
+        with self._lock:
+            self._apply(name, job)
+
+    def cancel(self, name):
+        with self._lock:
+            self._apply(name, None)
+
+    def _apply(self, name, job):
+        self.jobs[name] = job  # every call site holds self._lock

@@ -1,0 +1,55 @@
+"""Known-positive cases for ``fork-safety``: PR 7's bugs, distilled.
+
+Parsed, never imported.  Expected findings:
+
+1. rule A — ``spawn_worker`` forks while this module also starts a
+   watchdog thread, and nothing registers an
+   ``os.register_at_fork(after_in_child=...)`` re-arm hook;
+2. rule B — the child entry point ``_worker`` re-acquires the
+   module-level ``_STATE_LOCK`` that parent-side ``update_state`` also
+   holds (a fork landing inside the parent's critical section
+   deadlocks the child);
+3. rule C — the child calls ``_teardown``, which ``close()``s the
+   fork-copied module-global event log, flushing the parent's
+   buffered lines a second time (no forgetter in sight);
+4. rule D — an open file handle is passed to the child through
+   ``Process(args=...)``; the copy shares the parent's seek offset.
+"""
+
+import multiprocessing
+import threading
+
+_STATE_LOCK = threading.Lock()
+_events = open("/tmp/forksafety_fixture_events.jsonl", "a")
+
+
+def update_state() -> None:
+    with _STATE_LOCK:
+        _events.write("update\n")
+
+
+def _teardown() -> None:
+    _events.close()  # fork-copied buffer: parent lines flush twice
+
+
+def _worker() -> None:
+    with _STATE_LOCK:  # fork-inherited; may be held by the parent
+        pass
+    _teardown()
+
+
+def watch() -> None:
+    thread = threading.Thread(target=update_state, daemon=True)
+    thread.start()
+
+
+def spawn_worker() -> None:
+    log = open("/tmp/forksafety_fixture.log", "w")
+    process = multiprocessing.Process(target=_worker, args=(log,))
+    process.start()
+    log.close()
+
+
+def main() -> None:
+    watch()
+    spawn_worker()

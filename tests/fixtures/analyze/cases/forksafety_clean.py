@@ -1,0 +1,58 @@
+"""Known-negative cases for ``fork-safety``: the sanctioned remedies.
+
+The same shapes as ``forksafety_bad.py``, each cured the way
+``serve/workers.py`` cures it: an ``after_in_child`` re-arm hook for
+the inherited locks (rules A and B), a *forgetter* that drops the
+fork-copied sink without closing it before the child installs a fresh
+one (rule C), and a block *name* crossing the fork boundary instead of
+the handle (rule D).  The checker must stay silent on this file.
+"""
+
+import multiprocessing
+import os
+import threading
+
+_STATE_LOCK = threading.Lock()
+_events = open("/tmp/forksafety_clean_events.jsonl", "a")
+
+
+def _rearm_after_fork() -> None:
+    global _STATE_LOCK
+    _STATE_LOCK = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_rearm_after_fork)
+
+
+def update_state() -> None:
+    with _STATE_LOCK:
+        _events.write("update\n")
+
+
+def _forget_events() -> None:
+    """Drop the fork-copied sink without closing (no double flush)."""
+    global _events
+    _events = open(f"/tmp/forksafety_clean_{os.getpid()}.jsonl", "a")
+
+
+def _worker(name: str) -> None:
+    _forget_events()
+    with _STATE_LOCK:
+        pass
+
+
+def watch() -> None:
+    thread = threading.Thread(target=update_state, daemon=True)
+    thread.start()
+
+
+def spawn_worker() -> None:
+    process = multiprocessing.Process(
+        target=_worker, args=("block-name",)
+    )
+    process.start()
+
+
+def main() -> None:
+    watch()
+    spawn_worker()

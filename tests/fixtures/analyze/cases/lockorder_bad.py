@@ -1,0 +1,81 @@
+"""Known-positive cases for the ``lock-order`` checker.
+
+Parsed by the analyzer, never imported: each class seeds one rule.
+Expected findings (tests/test_analyze.py asserts on these):
+
+1. a direct nested-``with`` ordering cycle (``Transfer.credit`` takes
+   A then B, ``Transfer.debit`` takes B then A);
+2. an *interprocedural* cycle: ``Journal.append`` holds its own lock
+   and calls into ``Index.insert``, which holds the index lock and
+   calls back into ``Journal.flush`` — the classic two-object
+   deadlock no single file walk can see;
+3. a fork under a held lock (``Pool.grow``);
+4. a blocking ``join()`` under a held lock (``Pool.shrink``).
+"""
+
+import multiprocessing
+import os
+import threading
+
+_LOCK_A = threading.Lock()
+_LOCK_B = threading.Lock()
+
+
+def _child() -> None:
+    os.getpid()
+
+
+class Transfer:
+    def credit(self) -> None:
+        with _LOCK_A:
+            with _LOCK_B:  # A -> B
+                pass
+
+    def debit(self) -> None:
+        with _LOCK_B:
+            with _LOCK_A:  # B -> A: cycle with credit()
+                pass
+
+
+class Journal:
+    def __init__(self, index: "Index") -> None:
+        self._lock = threading.Lock()
+        self.index = index
+        self.entries: list[str] = []
+
+    def append(self, entry: str) -> None:
+        with self._lock:
+            self.entries.append(entry)
+            self.index.insert(entry)  # Journal._lock -> Index._lock
+
+    def flush(self) -> None:
+        with self._lock:
+            self.entries.clear()
+
+
+class Index:
+    def __init__(self, journal: Journal) -> None:
+        self._lock = threading.Lock()
+        self.journal = journal
+
+    def insert(self, entry: str) -> None:
+        with self._lock:
+            self.journal.flush()  # Index._lock -> Journal._lock: cycle
+
+
+class Pool:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.workers: dict[int, object] = {}
+
+    def grow(self, index: int) -> None:
+        with self._lock:
+            process = multiprocessing.Process(target=_child)
+            process.start()  # forked while holding Pool._lock
+            self.workers[index] = process
+
+    def shrink(self) -> None:
+        worker = threading.Thread(target=_child)
+        worker.start()
+        with self._lock:
+            worker.join()  # blocking join under Pool._lock

@@ -1,0 +1,66 @@
+"""Known-negative cases for ``lock-order``: the sanctioned shapes.
+
+Every pattern here is one a positive in ``lockorder_bad.py`` almost
+matches — consistent ordering instead of a cycle, re-entrant locks,
+forking *outside* the critical section, joining after release.
+The checker must stay silent on this file.
+"""
+
+import multiprocessing
+import threading
+
+_LOCK_A = threading.Lock()
+_LOCK_B = threading.Lock()
+
+
+def _child() -> None:
+    pass
+
+
+class Ordered:
+    """Both paths take A before B: a consistent order has no cycle."""
+
+    def credit(self) -> None:
+        with _LOCK_A:
+            with _LOCK_B:
+                pass
+
+    def debit(self) -> None:
+        with _LOCK_A:
+            with _LOCK_B:
+                pass
+
+
+class Reentrant:
+    """An RLock may be re-acquired by its holder; no self-deadlock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+
+    def outer(self) -> None:
+        with self._lock:
+            self.inner()
+
+    def inner(self) -> None:
+        with self._lock:
+            pass
+
+
+class Pool:
+    """Forks and joins happen outside the critical section; the lock
+    only guards the bookkeeping (the serve/workers.py shape)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.workers: dict[int, object] = {}
+
+    def grow(self, index: int) -> None:
+        process = multiprocessing.Process(target=_child)
+        process.start()
+        with self._lock:
+            self.workers[index] = process
+
+    def shrink(self, index: int) -> None:
+        with self._lock:
+            worker = self.workers.pop(index)
+        worker.join()

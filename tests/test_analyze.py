@@ -31,9 +31,12 @@ from tools.analyze.checkers import (
     ConcurrencyChecker,
     DeterminismChecker,
     ExceptionPolicyChecker,
+    ForkSafetyChecker,
+    LockOrderChecker,
     NoPrintChecker,
     NoWallTimeChecker,
     ObsCatalogueChecker,
+    ResourceLifetimeChecker,
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -130,6 +133,107 @@ def test_concurrency_clean():
 
 def test_suppression_comment_drops_findings():
     assert run_single(NoPrintChecker, "suppressed.py").ok
+
+
+def test_concurrency_primitive_and_locked_only_shapes_are_clean():
+    """Escaping per-call primitives, primitive-typed attributes, and
+    private methods called only under the lock must not fire."""
+    assert run_single(ConcurrencyChecker, "concurrency_clean.py").ok
+
+
+def test_concurrency_external_sync_waives_class_rules():
+    result = run_single(
+        ConcurrencyChecker, "concurrency_bad.py",
+        options={"external-sync": ["BadService"]},
+    )
+    # Class-level shared-state rules are waived; the per-call
+    # primitive rule is method-local and still applies.
+    assert len(result.findings) == 1
+    assert "guards nothing" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Interprocedural checkers: lock-order, fork-safety, resource-lifetime
+# ----------------------------------------------------------------------
+def run_graph(checker_cls, filename, *, callgraph=True, paths=None):
+    """Full run (``paths=None`` => ``complete=True``) over one fixture
+    file, with the call-graph layer on unless disabled."""
+    root = f"cases/{filename}"
+    config = AnalyzeConfig(repo_root=FIXTURES, roots=(root,))
+    config.checkers[checker_cls.name] = CheckerConfig(
+        name=checker_cls.name, roots=(root,),
+    )
+    return Analysis(config, [checker_cls],
+                    callgraph=callgraph).run(paths)
+
+
+def test_lock_order_fires_on_each_rule():
+    result = run_graph(LockOrderChecker, "lockorder_bad.py")
+    messages = " | ".join(f.message for f in result.findings)
+    assert len(result.findings) == 4
+    assert sorted(f.line for f in result.findings) == [31, 49, 74, 81]
+    # direct two-lock cycle inside one class
+    assert "_LOCK_A -> lockorder_bad._LOCK_B" in messages
+    # interprocedural cycle discovered through resolved calls
+    assert "Journal.append() calls Index.insert()" in messages
+    # fork and blocking join under a held lock
+    assert "process-start while holding Pool._lock" in messages
+    assert "blocking join() while holding Pool._lock" in messages
+
+
+def test_lock_order_clean():
+    assert run_graph(LockOrderChecker, "lockorder_clean.py").ok
+
+
+def test_lock_order_silent_without_callgraph():
+    result = run_graph(LockOrderChecker, "lockorder_bad.py",
+                       callgraph=False)
+    assert result.ok
+
+
+def test_fork_safety_fires_on_each_rule():
+    result = run_graph(ForkSafetyChecker, "forksafety_bad.py")
+    messages = " | ".join(f.message for f in result.findings)
+    assert len(result.findings) == 4
+    assert all(f.line == 49 for f in result.findings)
+    assert "re-acquires fork-inherited lock(s)" in messages     # rule B
+    assert "closes/flushes module global" in messages           # rule C
+    assert "passed into the child via Process args" in messages  # rule D
+    assert "also starts threads" in messages                    # rule A
+
+
+def test_fork_safety_clean():
+    assert run_graph(ForkSafetyChecker, "forksafety_clean.py").ok
+
+
+def test_fork_safety_partial_scan_keeps_only_local_rules():
+    """Absence-based rules (A-C) need the whole-tree pass; a partial
+    scan (pre-commit shape) keeps only the handle-in-args rule."""
+    result = run_graph(
+        ForkSafetyChecker, "forksafety_bad.py",
+        paths=[FIXTURES / "cases" / "forksafety_bad.py"],
+    )
+    assert not result.complete
+    assert len(result.findings) == 1
+    assert "Process args" in result.findings[0].message
+
+
+def test_resource_lifetime_fires_on_each_rule():
+    result = run_single(ResourceLifetimeChecker, "resource_bad.py")
+    messages = " | ".join(f.message for f in result.findings)
+    assert len(result.findings) == 5
+    assert sorted(f.line for f in result.findings) == [
+        24, 36, 44, 49, 55,
+    ]
+    assert "not close()d on every path" in messages
+    assert "close()d again" in messages
+    assert "closed while views over its buffer escape" in messages
+    assert "never join()ed on some path" in messages
+    assert "socket 'sock'" in messages
+
+
+def test_resource_lifetime_clean():
+    assert run_single(ResourceLifetimeChecker, "resource_clean.py").ok
 
 
 # ----------------------------------------------------------------------
@@ -254,6 +358,44 @@ def test_report_json_shape():
         "path", "line", "col", "checker", "message", "fixable",
     }
     assert finding["path"] == "cases/noprint_bad.py"
+
+
+def test_sarif_report_shape():
+    result = run_single(NoPrintChecker, "noprint_bad.py")
+    sarif = result.to_sarif()
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    assert run["tool"]["driver"]["name"] == "arcs-analyze"
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+        "no-print",
+    ]
+    (res,) = run["results"]
+    assert res["ruleId"] == "no-print"
+    assert res["ruleIndex"] == 0
+    location = res["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "cases/noprint_bad.py"
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert location["region"]["startLine"] == 5
+
+
+def test_cli_sarif_output_file(tmp_path):
+    """``--format sarif --output`` writes the log and keeps the human
+    render on stdout - the CI artifact shape."""
+    out = tmp_path / "analyze.sarif"
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.analyze", "--all",
+         "--format", "sarif", "--output", str(out)],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+    sarif = json.loads(out.read_text())
+    assert sarif["version"] == "2.1.0"
+    rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+    assert {r["id"] for r in rules} == {
+        cls.name for cls in ALL_CHECKERS
+    }
+    assert sarif["runs"][0]["results"] == []
 
 
 def test_cli_list_checkers(capsys):

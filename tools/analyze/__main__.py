@@ -39,8 +39,20 @@ def main(argv: list[str] | None = None) -> int:
              "comma-separated)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default text; sarif emits a SARIF 2.1.0 "
+             "log for code-scanning upload)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout (stdout then "
+             "gets the human-readable summary)",
+    )
+    parser.add_argument(
+        "--no-callgraph", action="store_true",
+        help="skip the whole-repo call-graph pass; interprocedural "
+             "checkers (lock-order, fork-safety) are silently skipped "
+             "- the fast mode pre-commit uses on staged files",
     )
     parser.add_argument(
         "--fix", action="store_true",
@@ -77,7 +89,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     paths = None if (args.all or not args.paths) else list(args.paths)
-    analysis = Analysis(config, classes)
+    analysis = Analysis(config, classes,
+                        callgraph=not args.no_callgraph)
     result = analysis.run(paths)
 
     if args.fix and not result.ok:
@@ -86,11 +99,21 @@ def main(argv: list[str] | None = None) -> int:
             print("arcs-analyze: rewrote "
                   + ", ".join(sorted(set(changed))), file=sys.stderr)
             # Re-run so the report reflects the fixed tree.
-            analysis = Analysis(config, checker_classes(select))
+            analysis = Analysis(config, checker_classes(select),
+                                callgraph=not args.no_callgraph)
             result = analysis.run(paths)
 
-    print(result.to_json() if args.format == "json"
-          else result.render())
+    if args.format == "json":
+        report = result.to_json()
+    elif args.format == "sarif":
+        report = result.to_sarif_json()
+    else:
+        report = result.render()
+    if args.output is not None:
+        args.output.write_text(report + "\n")
+        print(result.render())
+    else:
+        print(report)
     return 0 if result.ok else 1
 
 

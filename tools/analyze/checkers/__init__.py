@@ -8,6 +8,11 @@ from tools.analyze.checkers.exception_policy import (
     ExceptionPolicyChecker,
 )
 from tools.analyze.checkers.obs_catalogue import ObsCatalogueChecker
+from tools.analyze.checkers.lock_order import LockOrderChecker
+from tools.analyze.checkers.fork_safety import ForkSafetyChecker
+from tools.analyze.checkers.resource_lifetime import (
+    ResourceLifetimeChecker,
+)
 
 __all__ = ["ALL_CHECKERS", "checker_classes"]
 
@@ -18,6 +23,9 @@ ALL_CHECKERS = (
     DeterminismChecker,
     ExceptionPolicyChecker,
     ObsCatalogueChecker,
+    LockOrderChecker,
+    ForkSafetyChecker,
+    ResourceLifetimeChecker,
 )
 
 

@@ -1,0 +1,217 @@
+"""``lock-order``: deadlock cycles and locks held across forks/joins.
+
+Built entirely on the call graph (:mod:`tools.analyze.callgraph`): the
+checker contributes nothing during the per-file walk and reports from
+:meth:`finalize`, after the whole-run graph exists.
+
+Three rules:
+
+**Ordering cycles.**  Every lock acquisition records the locks already
+held (lexically, through nested ``with`` scopes); every call site
+records the locks held when the call is made, and the callee's
+*transitive* lock set (every lock it may take through any resolved call
+chain) closes the ordering edge.  The edges form a directed graph over
+lock tokens; any strongly connected component — ``A→B`` somewhere,
+``B→A`` somewhere else — is a potential deadlock the moment two
+threads interleave, and is reported once per cycle with the witnessing
+edges.  Re-acquiring a non-reentrant lock (a self-edge) is the
+degenerate cycle and deadlocks a single thread; RLock self-edges are
+exempt.
+
+**Held across fork.**  Forking while holding a lock copies the lock in
+its *locked* state into the child, where no thread will ever release
+it (PR 7's watchdog bug).  Reported for direct fork sites
+(``os.fork``, ``Process(...).start()``) and for call sites whose
+resolved callee transitively forks, including fork+exec spawns
+(``subprocess.*`` — the window between fork and exec still inherits
+the locked state).
+
+**Held across blocking join.**  ``thread.join()`` under a lock the
+joined thread needs is the classic one-lock deadlock; joining anything
+while holding a lock at minimum stalls every other acquirer for the
+join's duration.  Reported at the join site.
+
+Lock identity is class-scoped (all instances of ``C`` share the token
+for ``C._lock``), which is the standard abstraction: it reports the
+two-instance interleaving the same as the one-instance one and keeps
+tokens stable across files.
+"""
+
+from __future__ import annotations
+
+from tools.analyze.driver import AnalysisResult, Checker, Finding
+
+__all__ = ["LockOrderChecker"]
+
+
+def _short(token: str) -> str:
+    """``repro.serve.workers.MultiProcessServer._lock`` → the readable
+    tail ``MultiProcessServer._lock``."""
+    parts = token.split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else token
+
+
+class LockOrderChecker(Checker):
+    name = "lock-order"
+    description = ("lock-ordering cycles (potential deadlocks) and "
+                   "locks held across fork/spawn/join")
+    interests = ()
+    needs_callgraph = True
+
+    def finalize(self, result: AnalysisResult) -> None:
+        graph = result.callgraph
+        if graph is None:
+            return
+        # (held, acquired) -> (rel, lineno, witness text); first wins.
+        edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+        reentrant: set[str] = set()
+        for summary in graph.functions.values():
+            for acq in summary.acquires:
+                if acq.reentrant:
+                    reentrant.add(acq.token)
+        for summary in graph.functions.values():
+            in_scope = self.config.wants(summary.rel)
+            for acq in summary.acquires:
+                for held in acq.held:
+                    if held == acq.token and acq.token in reentrant:
+                        continue
+                    edges.setdefault((held, acq.token), (
+                        summary.rel, acq.lineno,
+                        f"{summary.qualname}() takes "
+                        f"{_short(acq.token)} while holding "
+                        f"{_short(held)}",
+                    ))
+            for site in summary.calls:
+                if not site.held:
+                    continue
+                if site.blocking_join and in_scope:
+                    self._report(result, summary.rel, site.lineno,
+                                 "blocking join() while holding "
+                                 + ", ".join(_short(t)
+                                             for t in site.held)
+                                 + "; every other acquirer stalls for "
+                                   "the join's duration (deadlock if "
+                                   "the joined thread needs the lock)")
+                for callee in graph.resolve_call(site):
+                    for token in graph.transitive_locks(callee.key):
+                        for held in site.held:
+                            if held == token and token in reentrant:
+                                continue
+                            edges.setdefault((held, token), (
+                                summary.rel, site.lineno,
+                                f"{summary.qualname}() calls "
+                                f"{callee.qualname}() holding "
+                                f"{_short(held)}; the callee may take "
+                                f"{_short(token)}",
+                            ))
+                    forks = graph.transitive_forks(callee.key)
+                    if forks and in_scope:
+                        kinds = sorted({fork.kind for fork in forks})
+                        self._report(
+                            result, summary.rel, site.lineno,
+                            f"call to {callee.qualname}() "
+                            f"{'/'.join(kinds)}s while holding "
+                            + ", ".join(_short(t) for t in site.held)
+                            + "; a fork-inherited lock is copied in "
+                              "its locked state and never released "
+                              "in the child",
+                        )
+            for fork in summary.forks:
+                if fork.held and in_scope:
+                    self._report(
+                        result, summary.rel, fork.lineno,
+                        f"{fork.kind} while holding "
+                        + ", ".join(_short(t) for t in fork.held)
+                        + "; the child inherits the lock locked "
+                          "forever (and fork+exec stalls the "
+                          "pre-exec window)",
+                    )
+        self._report_cycles(result, edges)
+
+    # ------------------------------------------------------------------
+    def _report_cycles(
+            self, result: AnalysisResult,
+            edges: dict[tuple[str, str], tuple[str, int, str]]) -> None:
+        graph: dict[str, set[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        for component in _sccs(graph):
+            if len(component) == 1:
+                token = next(iter(component))
+                if (token, token) not in edges:
+                    continue
+            witness = sorted(
+                (edges[(a, b)], (a, b))
+                for a in component for b in component
+                if (a, b) in edges
+            )
+            (rel, lineno, _), _ = witness[0]
+            texts = "; ".join(entry[0][2] for entry in witness)
+            cycle = " -> ".join(_short(t) for t in sorted(component))
+            if len(component) == 1:
+                message = (f"non-reentrant lock {cycle} may be "
+                           f"re-acquired while already held "
+                           f"(single-thread deadlock): {texts}")
+            else:
+                message = (f"lock-ordering cycle between {cycle} "
+                           f"(potential deadlock under "
+                           f"interleaving): {texts}")
+            if self.config.wants(rel):
+                self._report(result, rel, lineno, message)
+
+    def _report(self, result: AnalysisResult, rel: str, lineno: int,
+                message: str) -> None:
+        result.findings.append(Finding(
+            path=rel, line=lineno, col=1, checker=self.name,
+            message=message,
+        ))
+
+
+def _sccs(graph: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan's strongly connected components, iteratively."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[set[str]] = []
+    counter = 0
+
+    for root in graph:
+        if root in index:
+            continue
+        work: list[tuple[str, iter]] = [(root, iter(graph[root]))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

@@ -13,6 +13,15 @@ Suppression: a finding whose source line carries an
 ``# arcs-analyze: ignore[checker-a, checker-b]`` drops only the listed
 checkers' findings.  Checkers may additionally honour their own waiver
 comments (``no-wall-time`` keeps the historical ``# wall-clock: ok``).
+
+Interprocedural checkers set :attr:`Checker.needs_callgraph`; when any
+enabled checker does, the driver feeds every scanned file into a
+:class:`~tools.analyze.callgraph.CallGraphBuilder` during the walk and
+exposes the built :class:`~tools.analyze.callgraph.CallGraph` as
+``result.callgraph`` before :meth:`Checker.finalize` runs.  Callers
+that want the cheap single-file passes only (pre-commit on staged
+files) pass ``callgraph=False`` to :class:`Analysis` — graph-dependent
+checkers then see ``result.callgraph is None`` and stay silent.
 """
 
 from __future__ import annotations
@@ -165,6 +174,10 @@ class Checker:
     description: str = ""
     #: AST node classes this checker wants dispatched to :meth:`visit`.
     interests: tuple[type, ...] = ()
+    #: Whether :meth:`finalize` consumes ``result.callgraph``.  The
+    #: driver only pays for graph construction when an enabled checker
+    #: asks for it (and the caller did not disable it).
+    needs_callgraph: bool = False
 
     def __init__(self, config: CheckerConfig, analysis: "Analysis"):
         self.config = config
@@ -205,7 +218,21 @@ class AnalysisResult:
     findings: list[Finding] = field(default_factory=list)
     #: Whether every configured root was scanned (False when the caller
     #: passed an explicit file subset, e.g. pre-commit's changed files).
+    #: Checkers whose rules hinge on the *absence* of something (a
+    #: fork hook never registered, a forgetter nowhere in the project)
+    #: must gate those rules on this flag.
     complete: bool = True
+    #: checker name -> one-line description, for report metadata.
+    descriptions: dict[str, str] = field(default_factory=dict)
+    #: The interprocedural view (:class:`tools.analyze.callgraph.
+    #: CallGraph`), or ``None`` when no enabled checker needed it or
+    #: the caller disabled it.
+    callgraph: object | None = field(
+        default=None, repr=False, compare=False)
+    #: The builder that produced :attr:`callgraph` (checkers use its
+    #: ``method_key`` to resolve attr-typed method calls).
+    callgraph_builder: object | None = field(
+        default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -225,6 +252,72 @@ class AnalysisResult:
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2)
 
+    def to_sarif(self) -> dict:
+        """The run as a SARIF 2.1.0 log (GitHub code-scanning dialect).
+
+        One run, one rule per enabled checker (present even when a
+        checker found nothing, so the rule inventory is stable across
+        clean and failing runs), one result per finding.  Paths are
+        repo-relative with the conventional ``%SRCROOT%`` base id,
+        which is what the code-scanning upload action expects from a
+        checkout-rooted tool.
+        """
+        rule_index: dict[str, int] = {}
+        rules: list[dict] = []
+        known = list(self.checkers)
+        known.extend(f.checker for f in self.findings
+                     if f.checker not in known)
+        for name in known:
+            rule_index[name] = len(rules)
+            rules.append({
+                "id": name,
+                "name": name,
+                "shortDescription": {
+                    "text": self.descriptions.get(name, name),
+                },
+                "helpUri": ("https://github.com/arcs/arcs/blob/"
+                            "main/docs/static_analysis.md"),
+                "defaultConfiguration": {"level": "error"},
+            })
+        results: list[dict] = []
+        for finding in self.findings:
+            results.append({
+                "ruleId": finding.checker,
+                "ruleIndex": rule_index[finding.checker],
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    },
+                }],
+            })
+        return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "arcs-analyze",
+                    "informationUri": ("https://github.com/arcs/arcs/"
+                                       "blob/main/docs/"
+                                       "static_analysis.md"),
+                    "rules": rules,
+                }},
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }],
+        }
+
+    def to_sarif_json(self) -> str:
+        return json.dumps(self.to_sarif(), indent=2)
+
     def render(self) -> str:
         if self.ok:
             scanned = len(self.files_scanned)
@@ -243,8 +336,10 @@ class Analysis:
     """One configured analyzer run over a set of files."""
 
     def __init__(self, config: AnalyzeConfig,
-                 checker_classes: list[type[Checker]]):
+                 checker_classes: list[type[Checker]],
+                 callgraph: bool = True):
         self.config = config
+        self.callgraph_enabled = callgraph
         self.checkers: list[Checker] = []
         for cls in checker_classes:
             checker_config = config.checker(cls.name)
@@ -286,7 +381,15 @@ class Analysis:
             repo_root=self.config.repo_root,
             checkers=[checker.name for checker in self.checkers],
             complete=paths is None,
+            descriptions={checker.name: checker.description
+                          for checker in self.checkers},
         )
+        builder = None
+        if self.callgraph_enabled and any(
+                checker.needs_callgraph for checker in self.checkers):
+            # Imported lazily: callgraph.py uses this module's classes.
+            from tools.analyze.callgraph import CallGraphBuilder
+            builder = CallGraphBuilder()
         if paths is None:
             rels = self._all_files()
         else:
@@ -302,8 +405,12 @@ class Analysis:
             if not interested:
                 continue
             result.files_scanned.append(rel)
-            findings = self._scan_file(rel, interested, suppressed)
+            findings = self._scan_file(rel, interested, suppressed,
+                                       builder)
             result.findings.extend(findings)
+        if builder is not None:
+            result.callgraph = builder.build()
+            result.callgraph_builder = builder
         for checker in self.checkers:
             before = len(result.findings)
             checker.finalize(result)
@@ -314,7 +421,8 @@ class Analysis:
         return result
 
     def _scan_file(self, rel: str, checkers: list[Checker],
-                   suppressed: dict[str, list[str]]) -> list[Finding]:
+                   suppressed: dict[str, list[str]],
+                   builder=None) -> list[Finding]:
         path = self.config.repo_root / rel
         source = path.read_text()
         try:
@@ -328,6 +436,8 @@ class Analysis:
             )]
         ctx = FileContext(path, rel, source, tree)
         suppressed[rel] = ctx.lines
+        if builder is not None:
+            builder.add_file(ctx)
         for checker in checkers:
             checker.begin_file(ctx)
         self._walk(ctx, tree, checkers)
