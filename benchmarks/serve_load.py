@@ -10,6 +10,12 @@ latency, scrapes the server's own ``serve.request_seconds`` labeled
 histogram, and first proves the served answers bit-identical to the
 scalar oracle (:func:`repro.perf.reference.score_batch_scalar`).
 
+The multi-process scenario runs with fleet telemetry enabled (a
+sub-second snapshot interval), so its latency gates hold *with* the
+cross-worker aggregation running; the report records what each
+aggregation interval cost under ``fleet_telemetry`` (the
+``fleet.publish_seconds`` histogram plus ``/fleet`` ship counts).
+
 The measurements are gated by the ``serving`` section of
 ``benchmarks/perf_budgets.json``:
 
@@ -262,20 +268,55 @@ def run_load(name: str, url: str, processes: int, threads: int,
     }
 
 
-def scrape_histogram(url: str) -> dict | None:
-    """The server's own ``serve.request_seconds{endpoint="predict"}``.
+def scrape_metrics(url: str) -> dict:
+    """The ``/metrics`` JSON snapshot (``{"counters", "gauges", ...}``).
 
-    Per-process in multi-worker mode (the scrape lands on one worker) —
-    client-side numbers are the cross-worker truth; this is recorded
-    for the latency the *server* observed, excluding connection time.
+    In multi-worker mode this is the *fleet* aggregate once the parent
+    has published one (any worker serves the same merged view); before
+    the first publish — and always in threaded mode — it is the
+    answering process's local registry.
     """
     host, port = _split_url(url)
     status, body = _request(host, port, "GET", "/metrics")
     if status != 200:
-        return None
-    return body.get("histograms", {}).get(
+        return {}
+    return body.get("metrics", {})
+
+
+def scrape_histogram(url: str) -> dict | None:
+    """The server's own ``serve.request_seconds{endpoint="predict"}``,
+    for the latency the *server* observed, excluding connection time."""
+    return scrape_metrics(url).get("histograms", {}).get(
         'serve.request_seconds{endpoint="predict"}'
     )
+
+
+def scrape_fleet_overhead(url: str) -> dict | None:
+    """What fleet telemetry itself cost during the load run.
+
+    ``fleet.publish_seconds`` times each parent-side aggregation
+    interval end to end: merging every worker's shipped snapshot plus
+    atomically replacing the fleet document.  ``/fleet`` adds how many
+    snapshots workers shipped.  Returns ``None`` when the server runs
+    without fleet telemetry (threaded mode, or no publish happened).
+    """
+    histogram = scrape_metrics(url).get("histograms", {}).get(
+        "fleet.publish_seconds"
+    )
+    if histogram is None:
+        return None
+    host, port = _split_url(url)
+    status, body = _request(host, port, "GET", "/fleet")
+    fleet = body if status == 200 else {}
+    return {
+        "publishes": histogram["count"],
+        "publish_seconds": {
+            key: histogram[key]
+            for key in ("mean", "p50", "p95", "max")
+        },
+        "snapshots_absorbed": fleet.get("snapshots_absorbed"),
+        "workers_reporting": len(fleet.get("workers", {})) or None,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -306,15 +347,21 @@ def run_threaded(model_dir: Path, load: tuple[int, int, float],
 
 def run_multiprocess(model_dir: Path, load: tuple[int, int, float],
                      segmentation: Segmentation, workers: int) -> dict:
+    # Fleet telemetry stays ON (sub-second interval, so even the quick
+    # mode's short scenario spans several aggregation cycles): the p95
+    # gate below therefore proves the latency budget holds *with* the
+    # snapshot ship + merge running, and the publish histogram records
+    # what each aggregation interval cost.
     server = create_multiprocess_server(
         model_dir, port=0, workers=workers, refresh_interval=-1,
-        config=WorkerConfig(),
+        config=WorkerConfig(telemetry_interval=0.5),
     )
     server.start()
     try:
         equivalence = equivalence_probe(server.url, segmentation)
         result = run_load("multiprocess", server.url, *load)
         result["server_histogram"] = scrape_histogram(server.url)
+        result["fleet_telemetry"] = scrape_fleet_overhead(server.url)
     finally:
         server.drain(timeout=30.0)
     result["workers"] = workers

@@ -12,7 +12,10 @@ Subcommands mirror the library workflow:
   evaluate it against a CSV;
 * ``arcs serve`` — serve a directory of saved segmentations over HTTP
   (``/predict``, ``/predict_batch``, ``/explain``, ``/models``,
-  ``/healthz``, ``/metrics``, ``/stats`` — see ``docs/serving.md``);
+  ``/healthz``, ``/metrics``, ``/stats``, ``/fleet`` — see
+  ``docs/serving.md``);
+* ``arcs fleet`` — query a running server's ``GET /fleet`` lifecycle
+  surface and print the per-worker status table;
 * ``arcs watch`` — stream a CSV replay or tailed JSONL file through a
   tumbling/sliding tuple window, refit on cadence, and atomically
   publish refreshed artefacts into a ``serve`` models directory (see
@@ -233,7 +236,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="shed requests with HTTP 429 once N "
                             "submissions are queued (default 256)")
+    serve.add_argument("--fleet-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --workers: how often each worker "
+                            "ships its metrics snapshot to the parent "
+                            "for fleet aggregation (default 2; 0 "
+                            "disables periodic telemetry)")
+    serve.add_argument("--fleet-path", type=Path, default=None,
+                       metavar="PATH",
+                       help="with --workers: publish the merged fleet "
+                            "telemetry document to PATH instead of a "
+                            "private temp file (the file survives "
+                            "shutdown)")
     _add_obs_flags(serve)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="show a running server's fleet status (GET /fleet)",
+    )
+    fleet.add_argument("url",
+                       help="server base URL, e.g. "
+                            "http://127.0.0.1:8799")
+    fleet.add_argument("--timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="HTTP timeout (default 5)")
+    fleet.add_argument("--json", action="store_true", dest="raw_json",
+                       help="print the raw /fleet payload instead of "
+                            "the status table")
+    _add_obs_flags(fleet)
 
     watch = commands.add_parser(
         "watch",
@@ -661,6 +691,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise SystemExit("arcs serve: --workers must be >= 0")
     if args.batch_window is not None and args.batch_window < 0:
         raise SystemExit("arcs serve: --batch-window must be >= 0")
+    if args.fleet_interval is not None and args.fleet_interval < 0:
+        raise SystemExit("arcs serve: --fleet-interval must be >= 0")
     # A serving process exists to be watched: collect metrics so
     # /metrics answers, and spans too under --trace.
     obs.enable(
@@ -680,6 +712,10 @@ def _command_serve(args: argparse.Namespace) -> int:
                         if getattr(args, "events_out", None) is not None
                         else None),
             trace_spans=getattr(args, "trace", False),
+            **({"telemetry_interval": args.fleet_interval}
+               if args.fleet_interval is not None else {}),
+            **({"fleet_path": str(args.fleet_path)}
+               if args.fleet_path is not None else {}),
         )
         pool = create_multiprocess_server(
             args.models, host=args.host, port=args.port,
@@ -699,6 +735,58 @@ def _command_serve(args: argparse.Namespace) -> int:
     )
     _describe_served(server.service.registry, args.models, server.url)
     run_server(server)
+    return 0
+
+
+def _format_age(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds:.1f}s ago"
+
+
+def _command_fleet(args: argparse.Namespace) -> int:
+    import json
+    import urllib.request
+
+    url = args.url.rstrip("/")
+    if "://" not in url:
+        url = f"http://{url}"
+    with RunCapture("cli.fleet", config={"url": url}) as capture:
+        try:
+            with urllib.request.urlopen(
+                    url + "/fleet", timeout=args.timeout) as response:
+                payload = json.load(response)
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"arcs fleet: cannot read {url}/fleet: {error}"
+            )
+    if args.raw_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        _emit_run_report(args, capture.report)
+        return 0
+    workers = payload.get("workers", {})
+    if payload.get("mode") == "process":
+        print(f"{url}: single-process server "
+              f"(status {payload.get('status', '?')})")
+    else:
+        print(f"{url}: fleet generation {payload.get('generation')}, "
+              f"{len(workers)} worker(s), published "
+              f"{_format_age(payload.get('published_age_seconds'))}")
+    if workers:
+        print(f"{'worker':>6}  {'pid':>7}  {'spawn':>5}  "
+              f"{'restarts':>8}  {'uptime':>9}  {'snapshot':>12}  "
+              f"{'ack':>9}  state")
+    for index in sorted(workers, key=lambda key: int(key)):
+        entry = workers[index]
+        uptime = entry.get("uptime_seconds") or 0.0
+        ack = entry.get("ack_latency_seconds")
+        requests = entry.get("counters", {}).get("serve.requests", 0)
+        state = "draining" if entry.get("draining") else "serving"
+        print(f"{index:>6}  {entry.get('pid', '-'):>7}  "
+              f"{entry.get('spawn_generation', '-'):>5}  "
+              f"{entry.get('restarts', 0):>8}  {uptime:>8.1f}s  "
+              f"{_format_age(entry.get('last_snapshot_age_seconds')):>12}  "
+              f"{'-' if ack is None else f'{ack * 1000:.1f}ms':>9}  "
+              f"{state} ({requests} requests)")
+    _emit_run_report(args, capture.report)
     return 0
 
 
@@ -1021,6 +1109,7 @@ _COMMANDS = {
     "describe": _command_describe,
     "inspect": _command_inspect,
     "serve": _command_serve,
+    "fleet": _command_fleet,
     "watch": _command_watch,
     "score": _command_score,
     "drift": _command_drift,

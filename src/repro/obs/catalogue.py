@@ -43,6 +43,15 @@ METRICS: dict[str, tuple[str, str]] = {
     'engine.scans':
         ('counter',
          'rule-engine passes over the BinArray'),
+    'fleet.publish_seconds':
+        ('histogram',
+         'wall-clock per fleet publish: merging worker snapshots plus atomically replacing the fleet document'),
+    'fleet.snapshots_absorbed':
+        ('counter',
+         'worker telemetry snapshots absorbed by the parent fleet aggregator'),
+    'fleet.workers_reporting':
+        ('gauge',
+         'workers whose latest telemetry snapshot has been absorbed and are not draining'),
     'obs.events_emitted':
         ('counter',
          'events written to the JSONL event sink'),
@@ -105,7 +114,7 @@ METRICS: dict[str, tuple[str, str]] = {
          'HTTP requests dispatched (all endpoints)'),
     'serve.requests_{endpoint}':
         ('counter',
-         'requests per endpoint (`predict`, `predict_batch`, `explain`, `models`, `healthz`, `metrics`, `stats`, `profile`)'),
+         'requests per endpoint (`predict`, `predict_batch`, `explain`, `models`, `healthz`, `metrics`, `stats`, `fleet`, `profile`)'),
     'serve.scorer_cache_hits':
         ('counter',
          '`compile_scorer` LRU cache hits'),
@@ -188,6 +197,8 @@ SPANS: dict[str, str] = {
         'the `arcs describe` command (load + profile)',
     'cli.drift':
         'the `arcs drift` command (occupancy snapshot comparison)',
+    'cli.fleet':
+        'the `arcs fleet` command (GET /fleet status query)',
     'cli.inspect':
         'the `arcs inspect` command (load + optional evaluation)',
     'cli.remine':

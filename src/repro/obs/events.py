@@ -9,6 +9,15 @@ per pipeline span.  Each event is a single JSON object on its own line
     {"ts": 1754380800.123, "type": "request", "endpoint": "predict",
      "status": 200, "seconds": 0.0004}
 
+Every record also carries a ``pid`` field (and a ``worker`` index when
+:func:`set_worker_identity` has named this process), so N forked serve
+workers appending to one ``--events-out`` path stay attributable line
+by line.  When the serving layer has bound a request id to the current
+context (:func:`set_request_id`), it is attached as ``request_id`` —
+the same value the client saw in the ``X-Arcs-Request-Id`` response
+header, which makes an access-log line, a ``drift_alert`` and a
+``shed`` event for one request greppable as a unit.
+
 :class:`EventSink` owns one output file with two safety valves for
 long-lived serving processes:
 
@@ -27,8 +36,10 @@ the CLI does this for ``--events-out PATH`` on ``fit``/``serve``.
 
 from __future__ import annotations
 
+import contextvars
 import json
 import logging
+import os
 import threading
 import time
 from pathlib import Path
@@ -46,10 +57,59 @@ __all__ = [
     "events_enabled",
     "active_sink",
     "emit",
+    "set_request_id",
+    "reset_request_id",
+    "current_request_id",
+    "set_worker_identity",
+    "worker_identity",
 ]
 
 #: Default rotation threshold: 16 MiB per generation.
 DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+#: The request id bound to the current execution context, if any.  A
+#: :class:`~contextvars.ContextVar` rather than a thread-local: each
+#: HTTP handler thread binds its own id around dispatch, and the value
+#: follows the logical request even through helper frames.
+_request_id: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "arcs_request_id", default=None
+)
+
+#: This process's serve-worker index (``None`` outside serve workers).
+_worker_index: int | None = None
+
+
+def set_request_id(
+    request_id: str | None,
+) -> contextvars.Token:
+    """Bind ``request_id`` to the current context; returns the reset
+    token so callers can restore the previous binding in ``finally``."""
+    return _request_id.set(request_id)
+
+
+def reset_request_id(token: contextvars.Token) -> None:
+    """Restore the binding captured by :func:`set_request_id`."""
+    _request_id.reset(token)
+
+
+def current_request_id() -> str | None:
+    """The request id bound to this context, or ``None``."""
+    return _request_id.get()
+
+
+def set_worker_identity(index: int | None) -> None:
+    """Name this process as serve worker ``index`` (``None`` clears).
+
+    Called once per forked worker right after observability is re-armed;
+    every subsequently emitted event carries ``worker: index``.
+    """
+    global _worker_index
+    _worker_index = index
+
+
+def worker_identity() -> int | None:
+    """This process's serve-worker index, or ``None``."""
+    return _worker_index
 
 
 class EventSink:
@@ -81,9 +141,11 @@ class EventSink:
     def emit(self, event_type: str, **fields) -> bool:
         """Write one event; returns ``False`` when sampled out.
 
-        ``ts`` (wall-clock seconds, for correlating with external logs)
-        and ``type`` are added automatically; remaining fields must be
+        ``ts`` (wall-clock seconds, for correlating with external logs),
+        ``type``, ``pid`` and — when set — ``worker``/``request_id``
+        are added automatically; remaining fields must be
         JSON-serializable (non-serializable values are stringified).
+        Explicit keyword fields win over the automatic ones.
         """
         with self._lock:
             seen = self._seen.get(event_type, 0)
@@ -95,7 +157,13 @@ class EventSink:
             payload = {
                 "ts": time.time(),  # wall-clock: ok (log timestamp)
                 "type": event_type,
+                "pid": os.getpid(),
             }
+            if _worker_index is not None:
+                payload["worker"] = _worker_index
+            request_id = _request_id.get()
+            if request_id is not None:
+                payload["request_id"] = request_id
             payload.update(fields)
             line = json.dumps(payload, default=str,
                               separators=(",", ":")) + "\n"
@@ -134,6 +202,17 @@ class EventSink:
         self._size = 0
         self.rotations += 1
         logger.debug("rotated event log %s", self.path)
+
+    def counts(self) -> dict:
+        """Emission totals (``emitted``/``sampled_out``/``rotations``)
+        as a JSON-ready dict — the event half of a worker's telemetry
+        payload."""
+        with self._lock:
+            return {
+                "emitted": self.emitted,
+                "sampled_out": self.sampled_out,
+                "rotations": self.rotations,
+            }
 
     def close(self) -> None:
         with self._lock:

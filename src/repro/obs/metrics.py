@@ -324,17 +324,28 @@ class MetricsRegistry:
         value, histograms combine summaries and bucket counts."""
         self.merge_snapshot(other.snapshot())
 
-    def merge_snapshot(self, snapshot: dict) -> None:
+    def merge_snapshot(self, snapshot: dict,
+                       relabel_gauges: dict | None = None) -> None:
         """Absorb a :meth:`snapshot` payload, possibly from another
         process (the parallel verifier ships worker snapshots back over
         the pool).  Histograms with explicit buckets merge per bucket
         and require both sides to share the same bounds; bucket-less
-        summaries (older payloads) merge count/total/min/max only."""
+        summaries (older payloads) merge count/total/min/max only.
+
+        Gauges never sum — a merged gauge overwrites (last wins), which
+        is wrong across *distinct sources* (two workers' queue depths
+        are independent readings, not one).  ``relabel_gauges`` adds the
+        given labels to every incoming gauge so each source lands on its
+        own series (``serve.queue_depth{worker="0"}``) instead of
+        clobbering a peer's value; the fleet aggregator passes
+        ``{"worker": str(index)}``."""
         for key, value in snapshot.get("counters", {}).items():
             name, labels = parse_series_key(key)
             self.counter(name, labels).inc(value)
         for key, value in snapshot.get("gauges", {}).items():
             name, labels = parse_series_key(key)
+            if relabel_gauges:
+                labels = {**labels, **relabel_gauges}
             self.gauge(name, labels).set(value)
         for key, summary in snapshot.get("histograms", {}).items():
             name, labels = parse_series_key(key)

@@ -42,7 +42,7 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.obs import metrics
+from repro.obs import events, metrics
 from repro.serve.scorer import CompiledScorer, ScoringError
 
 logger = logging.getLogger(__name__)
@@ -83,13 +83,20 @@ class _Submission:
     The submitting thread parks on ``done``; the collector writes
     ``result`` *or* ``error`` and then sets the event — the event is the
     publication barrier, so these fields need no lock of their own.
+
+    ``request_id`` carries the submitting request's correlation id
+    across the thread hand-off: the collector runs outside the
+    handler's context, so the id is captured at submit time and names
+    the victims when a coalesced flush fails.
     """
 
-    __slots__ = ("x_values", "y_values", "done", "result", "error")
+    __slots__ = ("x_values", "y_values", "request_id", "done", "result",
+                 "error")
 
     def __init__(self, x_values: np.ndarray, y_values: np.ndarray):
         self.x_values = x_values
         self.y_values = y_values
+        self.request_id = events.current_request_id()
         self.done = threading.Event()
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
@@ -280,8 +287,11 @@ class BatchQueue:
                 item.result = result
                 item.done.set()
         except BaseException as error:  # answer waiters, never hang them
-            logger.exception("batch flush failed (%d submissions)",
-                             len(items))
+            logger.exception(
+                "batch flush failed (%d submissions; request ids %s)",
+                len(items),
+                [item.request_id for item in items],
+            )
             for item in items:
                 if not item.done.is_set():
                     item.error = error

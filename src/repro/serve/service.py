@@ -14,10 +14,16 @@ Two halves, separable for testing:
 
 Endpoints::
 
-    GET  /healthz        liveness + model count
+    GET  /healthz        liveness + model count + worker identity
     GET  /models         registry listing with artefact metadata
-    GET  /metrics        process metrics (JSON, or Prometheus text via
-                         ?format=prometheus / an Accept: text/plain)
+    GET  /metrics        metrics (JSON, or Prometheus text via
+                         ?format=prometheus / an Accept: text/plain);
+                         under the multi-process server this serves the
+                         published *fleet* aggregate by default —
+                         ?scope=local forces this process's own view
+    GET  /fleet          fleet lifecycle surface: per-worker pid,
+                         uptime, spawn generation, restart count, ack
+                         latency, snapshot age and drain state
     GET  /stats          model observability: windowed traffic drift
                          (PSI + JS per attribute), segment coverage and
                          out-of-range fractions per model
@@ -47,7 +53,11 @@ from __future__ import annotations
 
 import json
 import logging
+import os
+import re
 import threading
+import time
+import uuid
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
@@ -58,7 +68,7 @@ import numpy as np
 from repro.obs import events, metrics, tracing
 from repro.obs.profiler import profile_for
 from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
-from repro.obs.prometheus import render_registry
+from repro.obs.prometheus import render_prometheus, render_registry
 from repro.obs.tracing import Span
 from repro.serve.batching import (
     BatchQueue,
@@ -79,6 +89,7 @@ __all__ = [
     "PredictionHandler",
     "PredictionServer",
     "PredictionService",
+    "REQUEST_ID_HEADER",
     "ServiceError",
     "TextResponse",
 ]
@@ -86,6 +97,28 @@ __all__ = [
 #: Upper bound on one ``/debug/profile`` sampling window; keeps a typo'd
 #: ``seconds=`` from parking a handler thread for an hour.
 MAX_PROFILE_SECONDS = 30.0
+
+#: The request-id correlation header: echoed on every response, and the
+#: same value lands in the request's access-log/``drift_alert``/``shed``
+#: events (see :mod:`repro.obs.events`).
+REQUEST_ID_HEADER = "X-Arcs-Request-Id"
+
+#: Client-supplied request ids are honoured only in this shape — one
+#: log-safe token, so a header cannot smuggle newlines or JSON into the
+#: event stream.
+_REQUEST_ID_RE = re.compile(r"\A[A-Za-z0-9][A-Za-z0-9._-]{0,63}\Z")
+
+
+def _request_id_for(inbound: str | None) -> str:
+    """The request id to use: a sane client-supplied one, else fresh.
+
+    Ids are random (uuid4), not derived from the request: serving sits
+    outside the pipeline's determinism boundary, and collision-free
+    uniqueness across N workers is the property correlation needs.
+    """
+    if inbound and _REQUEST_ID_RE.match(inbound):
+        return inbound
+    return uuid.uuid4().hex[:16]
 
 
 class ServiceError(Exception):
@@ -169,7 +202,8 @@ class PredictionService:
                  recent_span_limit: int = 64,
                  monitors: TrafficMonitors | None = None,
                  batcher: BatchQueue | None = None,
-                 scorer_provider=None):
+                 scorer_provider=None,
+                 fleet_view=None):
         self.registry = registry
         self.started = perf_counter()
         #: Per-request root spans when tracing is enabled (ring buffer).
@@ -188,6 +222,11 @@ class PredictionService:
         #: Extra keys merged into /healthz (worker identity etc.); set
         #: once before serving starts, read-only afterwards.
         self.health_extra: dict = {}
+        #: Zero-argument callable returning the latest published fleet
+        #: document (or ``None``); serve workers plug in
+        #: :meth:`repro.obs.fleet.FleetView.read`.  ``None`` means this
+        #: process *is* the whole fleet (threaded server).
+        self.fleet_view = fleet_view
         self._draining = threading.Event()
 
     # ------------------------------------------------------------------
@@ -244,17 +283,45 @@ class PredictionService:
     def metrics_snapshot(
             self, payload: dict | None = None) -> dict | TextResponse:
         fmt = (payload or {}).get("format", "json")
-        if fmt == "prometheus":
-            return TextResponse(render_registry(),
-                                PROMETHEUS_CONTENT_TYPE)
-        if fmt != "json":
+        if fmt not in ("json", "prometheus"):
             raise ServiceError(
                 400, f"unknown metrics format {fmt!r}; "
                      "expected 'json' or 'prometheus'"
             )
+        scope = (payload or {}).get("scope", "fleet")
+        if scope not in ("fleet", "local"):
+            raise ServiceError(
+                400, f"unknown metrics scope {scope!r}; "
+                     "expected 'fleet' or 'local'"
+            )
+        # Under the multi-process server every worker serves the
+        # parent's published aggregate, so a scrape reports the same
+        # fleet-wide totals no matter which worker answered it.  Falls
+        # back to the process-local registry before the first publish
+        # (and always under the threaded server, where this process is
+        # the whole fleet).
+        document = (
+            self.fleet_view() if scope == "fleet"
+            and self.fleet_view is not None else None
+        )
+        if document is not None:
+            snapshot = document.get("aggregate", {})
+            if fmt == "prometheus":
+                return TextResponse(render_prometheus(snapshot),
+                                    PROMETHEUS_CONTENT_TYPE)
+            return {
+                "enabled": True,
+                "scope": "fleet",
+                "generation": document.get("generation"),
+                "metrics": snapshot,
+            }
+        if fmt == "prometheus":
+            return TextResponse(render_registry(),
+                                PROMETHEUS_CONTENT_TYPE)
         registry = metrics.active()
         return {
             "enabled": registry is not None,
+            "scope": "local",
             "metrics": registry.snapshot() if registry is not None
             else {},
         }
@@ -285,6 +352,57 @@ class PredictionService:
                 model.name: self.monitors.for_model(model).stats()
                 for model in served
             },
+        }
+
+    def fleet(self, payload: dict | None = None) -> dict:
+        """The fleet lifecycle surface (parent-published document).
+
+        Under the multi-process server this is the parent's last
+        published document — per-worker pid, uptime, spawn generation,
+        restart count, ack latency, drain state and counter totals —
+        with snapshot/publish ages computed at read time.  The threaded
+        server (and a worker before the first publish) reports itself
+        as a single-member fleet in ``mode: "process"``.
+        """
+        document = (
+            self.fleet_view() if self.fleet_view is not None else None
+        )
+        if document is None:
+            return {
+                "mode": "process",
+                "status": "draining" if self.draining else "ok",
+                "workers": {
+                    "0": {
+                        "pid": os.getpid(),
+                        "worker": events.worker_identity(),
+                        "spawn_generation": 0,
+                        "restarts": 0,
+                        "uptime_seconds": perf_counter() - self.started,
+                        "draining": self.draining,
+                    },
+                },
+            }
+        now = time.time()  # wall-clock: ok (age of published telemetry)
+        workers = {}
+        for index, entry in document.get("workers", {}).items():
+            entry = dict(entry)
+            shipped = entry.get("last_snapshot_unix")
+            entry["last_snapshot_age_seconds"] = (
+                max(now - shipped, 0.0) if shipped is not None else None
+            )
+            workers[index] = entry
+        published = document.get("published_unix")
+        return {
+            "mode": "fleet",
+            "generation": document.get("generation"),
+            "published_unix": published,
+            "published_age_seconds": (
+                max(now - published, 0.0) if published is not None
+                else None
+            ),
+            "last_publish_seconds": document.get("last_publish_seconds"),
+            "snapshots_absorbed": document.get("snapshots_absorbed"),
+            "workers": workers,
         }
 
     def predict(self, payload: dict) -> dict:
@@ -375,6 +493,7 @@ class PredictionService:
             raise ServiceError(400, str(error)) from None
         except QueueFullError as error:
             metrics.inc("serve.shed_total", labels={"endpoint": endpoint})
+            events.emit("shed", endpoint=endpoint, model=model.name)
             raise ServiceError(429, str(error)) from None
         except DrainingError as error:
             raise ServiceError(503, str(error)) from None
@@ -470,6 +589,7 @@ _ENDPOINTS = {
     "models": PredictionService.models,
     "metrics": PredictionService.metrics_snapshot,
     "stats": PredictionService.stats,
+    "fleet": PredictionService.fleet,
     "profile": PredictionService.profile,
     "predict": PredictionService.predict,
     "predict_batch": PredictionService.predict_batch,
@@ -481,6 +601,7 @@ _GET_ROUTES = {
     "/models": "models",
     "/metrics": "metrics",
     "/stats": "stats",
+    "/fleet": "fleet",
     "/debug/profile": "profile",
 }
 
@@ -502,42 +623,72 @@ class PredictionHandler(BaseHTTPRequestHandler):
     server: "PredictionServer"
     protocol_version = "HTTP/1.1"
 
+    #: Set per request before routing; echoed by :meth:`_send`.
+    _request_id: str | None = None
+
     # ------------------------------------------------------------------
     # Verbs
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        path, _, query = self.path.partition("?")
-        endpoint = _GET_ROUTES.get(path)
-        if endpoint is None:
-            self._send(404, {"error": f"no such path {path!r}"})
-            return
-        payload = {
-            key: values[-1]
-            for key, values in parse_qs(query).items()
-        } if query else {}
-        if endpoint == "metrics" and "format" not in payload:
-            # Content negotiation: a Prometheus scraper asks for the
-            # text format; JSON stays the default for everyone else.
-            accept = self.headers.get("Accept", "")
-            if "text/plain" in accept or "openmetrics" in accept:
-                payload["format"] = "prometheus"
-        status, body = self.server.service.dispatch(
-            endpoint, payload or None
-        )
-        self._send(status, body)
+        token = self._begin_request()
+        try:
+            path, _, query = self.path.partition("?")
+            endpoint = _GET_ROUTES.get(path)
+            if endpoint is None:
+                self._send(404, {"error": f"no such path {path!r}"})
+                return
+            payload = {
+                key: values[-1]
+                for key, values in parse_qs(query).items()
+            } if query else {}
+            if endpoint == "metrics" and "format" not in payload:
+                # Content negotiation: a Prometheus scraper asks for
+                # the text format; JSON stays the default otherwise.
+                accept = self.headers.get("Accept", "")
+                if "text/plain" in accept or "openmetrics" in accept:
+                    payload["format"] = "prometheus"
+            status, body = self.server.service.dispatch(
+                endpoint, payload or None
+            )
+            self._send(status, body)
+        finally:
+            events.reset_request_id(token)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
-        endpoint = _POST_ROUTES.get(self.path)
-        if endpoint is None:
-            self._send(404, {"error": f"no such path {self.path!r}"})
-            return
+        token = self._begin_request()
         try:
-            payload = self._read_json()
-        except ServiceError as error:
-            self._send(error.status, {"error": error.message})
-            return
-        status, body = self.server.service.dispatch(endpoint, payload)
-        self._send(status, body)
+            endpoint = _POST_ROUTES.get(self.path)
+            if endpoint is None:
+                self._send(404,
+                           {"error": f"no such path {self.path!r}"})
+                return
+            try:
+                payload = self._read_json()
+            except ServiceError as error:
+                self._send(error.status, {"error": error.message})
+                return
+            status, body = self.server.service.dispatch(
+                endpoint, payload
+            )
+            self._send(status, body)
+        finally:
+            events.reset_request_id(token)
+
+    def _begin_request(self):
+        """Assign this request's id and bind it to the handler context.
+
+        An inbound ``X-Arcs-Request-Id`` (one log-safe token) is
+        honoured so upstream proxies can thread their own ids; anything
+        else gets a fresh random id.  Binding through
+        :func:`repro.obs.events.set_request_id` is what stamps the same
+        id onto every event the request emits (access log, drift
+        alerts, sheds); the caller resets the returned token in its
+        ``finally``.
+        """
+        self._request_id = _request_id_for(
+            self.headers.get(REQUEST_ID_HEADER)
+        )
+        return events.set_request_id(self._request_id)
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -565,6 +716,8 @@ class PredictionHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if self._request_id is not None:
+            self.send_header(REQUEST_ID_HEADER, self._request_id)
         self.end_headers()
         self.wfile.write(data)
 

@@ -45,6 +45,18 @@ guards its own handler locks the same way) before
 inherited event sink is forgotten, never closed, so a fork-copied
 partial buffer cannot be flushed into the parent's log.
 
+**Fleet telemetry**: per-process registries used to mean a ``/metrics``
+scrape reflected only the worker that answered it.  Each worker now
+runs a telemetry thread that periodically (and finally, on drain) ships
+its registry snapshot plus event-sink counts to the parent over the
+ack queue; the parent's :class:`~repro.obs.fleet.FleetAggregator`
+merges them kind-aware (counters/histograms sum, gauges re-label as
+``{worker="N"}``) and atomically re-publishes the fleet document to a
+JSON file every worker re-reads — so any worker's ``/metrics`` serves
+the fleet-wide view and ``GET /fleet`` exposes the per-worker
+lifecycle surface (pid, uptime, spawn generation, restarts, ack
+latency, snapshot age, drain state).
+
 **Graceful drain** (SIGTERM via the CLI, or :meth:`drain` directly):
 the parent broadcasts ``drain``; each worker stops accepting, answers
 new scoring requests with 503, flushes its batch queue so blocked
@@ -68,11 +80,13 @@ import json
 import logging
 import multiprocessing
 import os
+import shutil
 import signal
 import struct
+import tempfile
 import threading
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from multiprocessing.shared_memory import SharedMemory
 from pathlib import Path
 from queue import Empty
@@ -84,6 +98,7 @@ from repro.core.segmentation import Segmentation
 from http.server import ThreadingHTTPServer
 
 from repro.obs import events, metrics, tracing
+from repro.obs.fleet import FleetAggregator, FleetView
 from repro.serve.batching import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_DELAY_SECONDS,
@@ -482,6 +497,15 @@ class WorkerConfig:
     #: Re-enabled per worker (fork does not share the JSONL sink).
     events_out: str | None = None
     trace_spans: bool = False
+    #: Seconds between telemetry snapshots shipped to the parent; 0
+    #: disables the periodic thread (the final on-drain snapshot is
+    #: always shipped).
+    telemetry_interval: float = 2.0
+    #: Where the parent publishes the merged fleet document.  ``None``
+    #: (the default) lets :class:`MultiProcessServer` place it in a
+    #: private temp directory it cleans up on drain; a caller-pinned
+    #: path survives the drain (CI uploads it as an artifact).
+    fleet_path: str | None = None
 
     def build_batcher(self) -> BatchQueue | None:
         if self.batch_window_seconds <= 0:
@@ -548,51 +572,103 @@ def _install_fork_hooks() -> None:
     os.register_at_fork(after_in_child=events.reinit_after_fork)
 
 
-def _reset_child_observability(config: WorkerConfig) -> None:
+def _reset_child_observability(index: int,
+                               config: WorkerConfig) -> None:
     """Give a freshly forked worker its own observability state.
 
     ``fork`` copies the parent's registries — including buffered sinks —
     mid-flight; a worker must own fresh instances, and metrics become
-    per-process from here on (scrape each worker, or aggregate
-    externally).  The inherited event sink is *forgotten*, never
-    closed: closing would flush a fork-copied partial buffer into the
-    parent's log through the shared descriptor, and its lock may have
-    been held by a parent thread that does not exist here (the
-    ``os.register_at_fork`` hooks re-armed it already — see
-    :func:`_install_fork_hooks`).
+    per-process from here on (the telemetry thread ships them to the
+    parent for fleet aggregation).  The inherited event sink is
+    *forgotten*, never closed: closing would flush a fork-copied
+    partial buffer into the parent's log through the shared descriptor,
+    and its lock may have been held by a parent thread that does not
+    exist here (the ``os.register_at_fork`` hooks re-armed it already —
+    see :func:`_install_fork_hooks`).  The worker identity is recorded
+    before the sink opens, so every event this process ever writes
+    carries its ``pid``/``worker`` fields — N workers appending to one
+    ``--events-out`` path stay disentangleable.
     """
     metrics.enable(metrics.MetricsRegistry())
     if config.trace_spans:
         tracing.enable()
     events.forget_events()
+    events.set_worker_identity(index)
     if config.events_out:
         events.enable_events(config.events_out)
 
 
+def _telemetry_payload(incarnation: int, started: float,
+                       draining: bool) -> dict:
+    """One worker telemetry message: identity + metrics + event counts."""
+    registry = metrics.active()
+    sink = events.active_sink()
+    return {
+        "pid": os.getpid(),
+        "incarnation": incarnation,
+        "uptime_seconds": perf_counter() - started,
+        "draining": draining,
+        "snapshot": registry.snapshot() if registry is not None else {},
+        "events": sink.counts() if sink is not None else None,
+    }
+
+
 def _worker_main(index: int, worker_count: int, listen_socket,
                  model_dir, prefix: str, spawn_generation: int,
-                 config: WorkerConfig, control, acks) -> None:
+                 incarnation: int, config: WorkerConfig, control,
+                 acks) -> None:
     """One scoring worker: serve the shared socket until told to drain."""
     # The parent owns terminal signals; workers drain on its command
     # (or on parent death, seen as EOF on the control pipe).
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
-    _reset_child_observability(config)
+    started = perf_counter()
+    _reset_child_observability(index, config)
     registry = ModelRegistry(model_dir, refresh_interval=-1).load()
     cache = SharedScorerCache(prefix)
     batcher = config.build_batcher()
+    fleet_view = (
+        FleetView(config.fleet_path) if config.fleet_path else None
+    )
     service = PredictionService(
         registry,
         monitors=TrafficMonitors(window_seconds=config.window_seconds,
                                  window_count=config.window_count),
         batcher=batcher,
         scorer_provider=cache.resolve,
+        fleet_view=fleet_view.read if fleet_view is not None else None,
     )
-    service.health_extra = {"worker": index, "workers": worker_count}
+    service.health_extra = {
+        "worker": index,
+        "workers": worker_count,
+        "pid": os.getpid(),
+        "spawn_generation": incarnation,
+    }
     server = _AdoptedSocketServer(listen_socket, service)
     server.serve_in_background()
     logger.info("worker %d serving (pid %d)", index, os.getpid())
     acks.put(("ready", index, spawn_generation))
+
+    def _ship_telemetry(draining: bool = False) -> None:
+        try:
+            acks.put(("telemetry", index,
+                      _telemetry_payload(incarnation, started,
+                                         draining)))
+        except (OSError, ValueError):
+            pass  # parent gone; telemetry is best-effort
+
+    telemetry_stop = threading.Event()
+    telemetry_thread: threading.Thread | None = None
+    if config.telemetry_interval > 0:
+        def _telemetry_loop() -> None:
+            while not telemetry_stop.wait(config.telemetry_interval):
+                _ship_telemetry()
+
+        telemetry_thread = threading.Thread(
+            target=_telemetry_loop, name=f"arcs-telemetry-{index}",
+            daemon=True,
+        )
+        telemetry_thread.start()
     try:
         while True:
             try:
@@ -622,6 +698,13 @@ def _worker_main(index: int, worker_count: int, listen_socket,
         # (block_on_close), completing the graceful drain.
         server.server_close()
         cache.close()
+        telemetry_stop.set()
+        if telemetry_thread is not None:
+            telemetry_thread.join(timeout=5.0)
+        # The final snapshot: every request this worker ever served is
+        # now in the registry (handler threads are joined), so the
+        # parent's last publish covers the complete totals.
+        _ship_telemetry(draining=True)
         try:
             acks.put(("stopped", index))
         except (OSError, ValueError):
@@ -672,6 +755,21 @@ class MultiProcessServer:
         ).load()
         self.prefix = f"arcs{os.getpid():x}"
         self.publisher = ScorerPublisher(self.prefix)
+        self.fleet = FleetAggregator()
+        # The fleet document's home: a caller-pinned path survives the
+        # drain (CI uploads it); otherwise a private temp directory is
+        # created now and removed at the end of drain().
+        if self.config.fleet_path:
+            self.fleet_path = Path(self.config.fleet_path)
+            self._fleet_dir: Path | None = None
+        else:
+            self._fleet_dir = Path(
+                tempfile.mkdtemp(prefix="arcs-fleet-")
+            )
+            self.fleet_path = self._fleet_dir / "fleet.json"
+            self.config = replace(
+                self.config, fleet_path=str(self.fleet_path)
+            )
         self._socket = socket_module.socket(
             socket_module.AF_INET, socket_module.SOCK_STREAM
         )
@@ -684,9 +782,17 @@ class MultiProcessServer:
         self._processes: dict[int, multiprocessing.process.BaseProcess]
         self._processes = {}
         self._controls: dict[int, object] = {}
+        #: Per-slot spawn generation: 1 at first fork, +1 per watchdog
+        #: respawn — the fleet's monotone-counter fold key.
+        self._incarnations: dict[int, int] = {}
         self._acks = self._context.Queue()
         self._ready = threading.Semaphore(0)
         self._stopping = threading.Event()
+        #: Set only after every worker is joined: the ack loop must
+        #: keep consuming through the drain, or a worker's final
+        #: telemetry snapshot could fill the queue's pipe and block its
+        #: exit against the parent's join.
+        self._acks_done = threading.Event()
         self._stopped = threading.Event()
         self._threads: list[threading.Thread] = []
         self._started = False
@@ -725,6 +831,15 @@ class MultiProcessServer:
         if self._started:
             raise WorkerError("server already started")
         self._started = True
+        # The parent is the fleet-telemetry owner: its registry feeds
+        # the `fleet.*` instruments and rides along in the published
+        # aggregate under `{worker="parent"}`.  Workers enable their
+        # own registries unconditionally after the fork (see
+        # _reset_child_observability); the parent does the same here so
+        # aggregation overhead is measured whether or not the embedding
+        # process opted into obs.
+        if metrics.active() is None:
+            metrics.enable(metrics.MetricsRegistry())
         # Fork outside self._lock: the child inherits every lock in
         # its at-fork state, so a fork under a held lock wedges the
         # child the first time it touches that lock.  No supervision
@@ -763,12 +878,19 @@ class MultiProcessServer:
         # Before the fork: the new worker must hold back retirements
         # from its very first moment, not from its first ack.
         self.publisher.register_worker(index)
+        with self._lock:
+            incarnation = self._incarnations.get(index, 0) + 1
+            self._incarnations[index] = incarnation
+        generation = self.publisher.generation
+        # Stamp the spawn so the worker's "ready" ack reports its
+        # fork-to-ready latency on the fleet surface.
+        self.fleet.note_sync_sent(generation)
         process = self._context.Process(
             target=_worker_main,
             name=f"arcs-worker-{index}",
             args=(index, self.worker_count, self._socket,
                   self.registry.directory, self.prefix,
-                  self.publisher.generation, self.config,
+                  generation, incarnation, self.config,
                   child_end, self._acks),
             # Daemonic: if the parent dies without draining, workers
             # must not keep the exit hanging — they notice the control
@@ -776,6 +898,7 @@ class MultiProcessServer:
             daemon=True,
         )
         process.start()
+        self.fleet.register_worker(index, process.pid, incarnation)
         child_end.close()
         return process, parent_end
 
@@ -810,12 +933,27 @@ class MultiProcessServer:
                 control.close()
             except OSError:
                 logger.debug("control pipe already closed")
+        # Workers are joined; now the ack loop may stop.  Absorb
+        # whatever it had not yet consumed — every worker ships one
+        # final telemetry snapshot on its way out, and the last
+        # published fleet document must cover those complete totals.
+        self._acks_done.set()
         for thread in self._threads:
             thread.join(timeout=5.0)
+        while True:
+            try:
+                message = self._acks.get_nowait()
+            except (Empty, OSError, ValueError):
+                break
+            self._handle_ack(message)
         self._acks.close()
         self.publisher.close()
         self._socket.close()
         metrics.set_gauge("serve.workers", 0)
+        if self._fleet_dir is not None:
+            # Server-owned temp home for the fleet document; a
+            # caller-pinned fleet_path is left in place instead.
+            shutil.rmtree(self._fleet_dir, ignore_errors=True)
         self._stopped.set()
         logger.info("drain complete")
 
@@ -827,23 +965,46 @@ class MultiProcessServer:
     # Supervision threads
     # ------------------------------------------------------------------
     def _ack_loop(self) -> None:
-        while not self._stopping.is_set():
+        while not self._acks_done.is_set():
             try:
                 message = self._acks.get(timeout=0.25)
             except (Empty, OSError, ValueError):
                 continue
-            kind, index, *rest = message
-            try:
-                if kind == "ready":
-                    self.publisher.note_ack(index, rest[0])
-                    self._ready.release()
-                elif kind == "synced":
-                    self.publisher.note_ack(index, rest[0])
-            except Exception:
-                # The ack loop is supervision: a bookkeeping failure
-                # must not stop future acks from being processed.
-                logger.exception("processing %s ack from worker %d "
-                                 "failed", kind, index)
+            self._handle_ack(message)
+
+    def _handle_ack(self, message) -> None:
+        """Process one worker message (ack loop, and drain's catch-up)."""
+        kind, index, *rest = message
+        try:
+            if kind == "ready":
+                self.publisher.note_ack(index, rest[0])
+                self.fleet.note_sync_ack(index, rest[0])
+                self._ready.release()
+            elif kind == "synced":
+                self.publisher.note_ack(index, rest[0])
+                self.fleet.note_sync_ack(index, rest[0])
+            elif kind == "telemetry":
+                self.fleet.absorb(index, rest[0])
+                self._publish_fleet()
+        except Exception:
+            # The ack loop is supervision: a bookkeeping failure
+            # must not stop future acks from being processed.
+            logger.exception("processing %s ack from worker %d "
+                             "failed", kind, index)
+
+    def _publish_fleet(self) -> None:
+        """Re-publish the merged fleet document for workers to serve.
+
+        The parent's own registry (publisher counters, restart totals,
+        the ``fleet.*`` instruments) rides along labeled
+        ``{worker="parent"}`` so nothing the parent observes is
+        invisible fleet-wide.
+        """
+        registry = metrics.active()
+        self.fleet.publish(
+            self.fleet_path,
+            registry.snapshot() if registry is not None else None,
+        )
 
     def _refresh_loop(self) -> None:
         if self.refresh_interval <= 0:
@@ -864,6 +1025,7 @@ class MultiProcessServer:
         if not self.registry.refresh():
             return False
         generation = self.publisher.sync(self.registry.models())
+        self.fleet.note_sync_sent(generation)
         with self._lock:
             controls = dict(self._controls)
         for index, control in controls.items():
@@ -896,6 +1058,7 @@ class MultiProcessServer:
                 )
                 metrics.inc("serve.worker_restarts")
                 self.publisher.reset_worker(index)
+                self.fleet.note_restart(index)
                 try:
                     if old_control is not None:
                         old_control.close()
